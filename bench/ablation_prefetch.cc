@@ -1,0 +1,127 @@
+// Prefetching ablation. §2.5: "Our model also does not take into account
+// techniques for hiding latency, such as prefetching and multithreading.
+// Prefetching will lower the relative cost of performing data migration,
+// since the delays involved with data migration can be overlapped with
+// computation."
+//
+// One thread on P0 works through m remote 160-byte blocks, n accesses each
+// with real compute between accesses. We compare computation migration,
+// plain data migration (coherent reads), and data migration with a
+// software prefetch of block i+1 issued while working on block i.
+#include <cstdio>
+#include <vector>
+
+#include "core/object.h"
+#include "core/runtime.h"
+#include "net/constant_net.h"
+#include "shmem/coherent_memory.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+using namespace cm;
+using core::Ctx;
+
+namespace {
+
+constexpr unsigned kBlocks = 12;
+constexpr unsigned kBlockBytes = 160;  // 10 lines
+constexpr unsigned kAccesses = 4;
+constexpr sim::Cycles kWork = 150;
+
+struct World {
+  sim::Engine eng;
+  sim::Machine machine;
+  net::ConstantNetwork net;
+  shmem::CoherentMemory mem;
+  core::ObjectSpace objects;
+  core::Runtime rt;
+
+  World()
+      : machine(eng, kBlocks + 1), net(eng), mem(machine, net),
+        rt(machine, net, objects, core::CostModel::software()) {}
+};
+
+sim::Task<> data_migration(World* w, std::vector<shmem::Addr> blocks,
+                           bool prefetch) {
+  for (unsigned i = 0; i < blocks.size(); ++i) {
+    if (prefetch && i + 1 < blocks.size()) {
+      w->mem.prefetch(0, blocks[i + 1], kBlockBytes);
+    }
+    for (unsigned a = 0; a < kAccesses; ++a) {
+      co_await w->mem.read(0, blocks[i], kBlockBytes);
+      co_await w->machine.compute(0, kWork);
+    }
+  }
+}
+
+sim::Task<> comp_migration(World* w, std::vector<core::ObjectId> objs) {
+  Ctx ctx{&w->rt, 0};
+  for (const auto obj : objs) {
+    co_await w->rt.migrate(ctx, obj, 8);
+    for (unsigned a = 0; a < kAccesses; ++a) {
+      (void)co_await w->rt.call(ctx, obj, core::CallOpts{4, 2, false},
+                                [w](Ctx& c) -> sim::Task<int> {
+                                  co_await w->rt.compute(c, kWork);
+                                  co_return 0;
+                                });
+    }
+  }
+  co_await w->rt.return_home(ctx, 0, 2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Latency hiding: %u remote blocks x %u accesses, %llu cycles "
+              "of work per access\n\n", kBlocks, kAccesses,
+              static_cast<unsigned long long>(kWork));
+
+  sim::Cycles cm = 0, dm = 0, dmpf = 0;
+  std::uint64_t dm_words = 0, dmpf_words = 0, cm_words = 0;
+  {
+    World w;
+    std::vector<core::ObjectId> objs;
+    for (unsigned i = 0; i < kBlocks; ++i) {
+      objs.push_back(w.objects.create(static_cast<sim::ProcId>(i + 1)));
+    }
+    sim::detach(comp_migration(&w, objs));
+    w.eng.run();
+    cm = w.eng.now();
+    cm_words = w.net.stats().words;
+  }
+  for (const bool pf : {false, true}) {
+    World w;
+    std::vector<shmem::Addr> blocks;
+    for (unsigned i = 0; i < kBlocks; ++i) {
+      blocks.push_back(w.mem.alloc(static_cast<sim::ProcId>(i + 1),
+                                   kBlockBytes));
+    }
+    sim::detach(data_migration(&w, blocks, pf));
+    w.eng.run();
+    (pf ? dmpf : dm) = w.eng.now();
+    (pf ? dmpf_words : dm_words) = w.net.stats().words;
+  }
+
+  std::printf("%-28s %10s %10s\n", "mechanism", "cycles", "words");
+  std::printf("%-28s %10llu %10llu\n", "computation migration",
+              static_cast<unsigned long long>(cm),
+              static_cast<unsigned long long>(cm_words));
+  std::printf("%-28s %10llu %10llu\n", "data migration",
+              static_cast<unsigned long long>(dm),
+              static_cast<unsigned long long>(dm_words));
+  std::printf("%-28s %10llu %10llu\n", "data migration + prefetch",
+              static_cast<unsigned long long>(dmpf),
+              static_cast<unsigned long long>(dmpf_words));
+  std::printf(
+      "\nShape: two of §2's predictions at once. The blocks here are\n"
+      "read-only and re-accessed, so plain data migration already beats\n"
+      "computation migration (\"when the amount of data that is accessed is\n"
+      "small and rarely written, data migration should outperform\n"
+      "computation migration\", §2.4) — and prefetching widens that edge by\n"
+      "another %.0f%% at identical word cost (\"prefetching will lower the\n"
+      "relative cost of performing data migration\", §2.5). Data migration\n"
+      "pays ~%.0fx the bandwidth either way.\n",
+      100.0 * (static_cast<double>(dm) / static_cast<double>(dmpf) - 1.0),
+      static_cast<double>(dm_words) / static_cast<double>(cm_words));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Tables 3 and 4: distributed B-tree with a 10,000-cycle think time —
+// with the root bottleneck relieved by lighter load, computation migration
+// with replication and hardware support matches shared memory's throughput
+// while using a fraction of the network.
+#include <cstdio>
+
+#include "apps/workload.h"
+
+using cm::apps::BTreeConfig;
+using cm::apps::RunStats;
+using cm::apps::Window;
+using cm::core::Mechanism;
+using cm::core::Scheme;
+
+int main() {
+  const Scheme schemes[] = {
+      {Mechanism::kSharedMemory, false, false},
+      {Mechanism::kMigration, false, true},
+      {Mechanism::kMigration, true, true},
+  };
+  const double paper_thr[] = {1.071, 0.9816, 1.053};
+  const double paper_bw[] = {16, 2.5, 2.7};
+
+  std::printf("Tables 3+4: B-tree, 10,000-cycle think time, 16 requesters\n");
+  std::printf("%-18s %12s %12s | %12s %12s\n", "Scheme", "thr/1000cy",
+              "paper", "bw words/10", "paper");
+  for (unsigned i = 0; i < 3; ++i) {
+    BTreeConfig cfg;
+    cfg.scheme = schemes[i];
+    cfg.think = 10'000;
+    cfg.window = Window{40'000, 300'000};
+    const RunStats r = run_btree(cfg);
+    std::printf("%-18s %12.4f %12.4f | %12.2f %12.1f\n",
+                schemes[i].name().c_str(), r.throughput_per_1000(),
+                paper_thr[i], r.words_per_10(), paper_bw[i]);
+  }
+  std::printf(
+      "\nPaper shape: with lighter root contention the three schemes'\n"
+      "throughputs nearly tie, while shared memory still pays several times\n"
+      "the bandwidth to maintain coherence.\n");
+  return 0;
+}

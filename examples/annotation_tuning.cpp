@@ -1,0 +1,120 @@
+// Annotation tuning (the paper's §3.1 workflow as a user program).
+//
+// "Changing where migration occurs simply involves moving the annotation,
+// and the programmer can easily switch between using computation migration,
+// RPC, and data migration."
+//
+// The program below walks a chain of 12 objects spread over 12 processors,
+// doing a few accesses at each. It is written ONCE; the only thing that
+// varies between runs is where the `migrate` annotation sits:
+//   * no annotation        : every access is an RPC;
+//   * annotate every node  : classic computation migration;
+//   * annotate every 3rd   : partial migration — the activation camps at
+//     one node per group and reaches the others by RPC, trading migration
+//     cost against access locality.
+// Semantics are identical in all three runs; only cost changes.
+#include <cstdio>
+#include <vector>
+
+#include "core/object.h"
+#include "core/runtime.h"
+#include "net/constant_net.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+using namespace cm;
+using core::Ctx;
+
+namespace {
+
+constexpr unsigned kChain = 12;
+constexpr int kAccessesPerNode = 3;
+
+/// Annotation policy: migrate before visiting node i?
+using Policy = bool (*)(unsigned i);
+bool never(unsigned) { return false; }
+bool always(unsigned) { return true; }
+bool every_third(unsigned i) { return i % 3 == 0; }
+
+struct Result {
+  long sum = 0;
+  sim::Cycles cycles = 0;
+  std::uint64_t messages = 0;
+};
+
+sim::Task<> walk(core::Runtime* rt, std::vector<core::ObjectId> chain,
+                 std::vector<int>* data, Policy annotate, Result* out) {
+  Ctx ctx{rt, 0};
+  long sum = 0;
+  for (unsigned i = 0; i < chain.size(); ++i) {
+    if (annotate(i)) {
+      // <<< the annotation: one line, moves the activation to the data >>>
+      co_await rt->migrate(ctx, chain[i], 8);
+    }
+    for (int a = 0; a < kAccessesPerNode; ++a) {
+      sum += co_await rt->call(
+          ctx, chain[i], core::CallOpts{4, 2, false},
+          [rt, data, i](Ctx& self) -> sim::Task<int> {
+            co_await rt->compute(self, 30);
+            co_return (*data)[i];
+          });
+    }
+  }
+  co_await rt->return_home(ctx, 0, 2);
+  out->sum = sum;
+}
+
+Result run(Policy annotate) {
+  sim::Engine engine;
+  sim::Machine machine(engine, kChain + 1);
+  net::ConstantNetwork network(engine);
+  core::ObjectSpace objects;
+  core::Runtime rt(machine, network, objects, core::CostModel::software());
+
+  std::vector<core::ObjectId> chain;
+  std::vector<int> data;
+  for (unsigned i = 0; i < kChain; ++i) {
+    chain.push_back(objects.create(static_cast<sim::ProcId>(i + 1)));
+    data.push_back(static_cast<int>(i * i));
+  }
+
+  Result r;
+  sim::detach(walk(&rt, chain, &data, annotate, &r));
+  engine.run();
+  r.cycles = engine.now();
+  r.messages = network.stats().messages;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Annotation tuning: a 12-node chain walk, %d accesses/node\n\n",
+              kAccessesPerNode);
+  struct Case {
+    const char* name;
+    Policy policy;
+  };
+  const Case cases[] = {
+      {"no annotation (pure RPC)", never},
+      {"annotate every node (CM)", always},
+      {"annotate every 3rd node", every_third},
+  };
+  long expect = -1;
+  for (const Case& c : cases) {
+    const Result r = run(c.policy);
+    std::printf("%-28s sum=%-6ld %7llu cycles %5llu messages\n", c.name,
+                r.sum, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.messages));
+    if (expect < 0) expect = r.sum;
+    if (r.sum != expect) {
+      std::printf("BUG: annotation changed program semantics!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nSame answer every time — the annotation is pure tuning. Moving it\n"
+      "trades migration cost against access locality, with no program\n"
+      "restructuring (contrast with hand-coded continuation-passing).\n");
+  return 0;
+}

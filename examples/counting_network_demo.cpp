@@ -1,0 +1,86 @@
+// Counting-network demo (the paper's §4.1 workload as a user program).
+//
+// Eight threads draw values from a width-8 bitonic counting network under
+// each remote-access mechanism. The point of the demo:
+//   * the mechanism annotation changes PERFORMANCE, never SEMANTICS — all
+//     three runs hand out exactly the values 0..n-1 and leave the network
+//     with the step property;
+//   * computation migration uses the fewest messages; shared memory uses
+//     the most bandwidth.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/counting_network.h"
+#include "core/runtime.h"
+#include "net/constant_net.h"
+#include "shmem/coherent_memory.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+using namespace cm;
+using core::Ctx;
+using core::Mechanism;
+
+namespace {
+
+constexpr unsigned kThreads = 8;
+constexpr int kPerThread = 12;
+
+sim::Task<> requester(core::Runtime* rt, apps::CountingNetwork* cn,
+                      Mechanism mech, sim::ProcId home, unsigned wire,
+                      std::vector<long>* out) {
+  Ctx ctx{rt, home};
+  for (int i = 0; i < kPerThread; ++i) {
+    const long v = co_await cn->get_next(ctx, mech, wire);
+    co_await rt->return_home(ctx, home, 2);
+    out->push_back(v);
+  }
+}
+
+void run(Mechanism mech) {
+  sim::Engine engine;
+  sim::Machine machine(engine, 24 + kThreads);
+  net::ConstantNetwork network(engine);
+  shmem::CoherentMemory memory(machine, network);
+  core::ObjectSpace objects;
+  core::Runtime rt(machine, network, objects, core::CostModel::software());
+  apps::CountingNetwork cn(rt, &memory, {});
+
+  std::vector<std::vector<long>> values(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    sim::detach(requester(&rt, &cn, mech, 24 + t, t % 8, &values[t]));
+  }
+  engine.run();
+
+  std::vector<long> all;
+  for (const auto& v : values) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  bool contiguous = true;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    contiguous &= all[i] == static_cast<long>(i);
+  }
+
+  std::printf(
+      "%-4s: %zu values, contiguous 0..n-1: %s, step property: %s,\n"
+      "      %6llu cycles, %5llu messages, %6llu words\n",
+      mechanism_name(mech), all.size(), contiguous ? "yes" : "NO",
+      cn.has_step_property() ? "yes" : "NO",
+      static_cast<unsigned long long>(engine.now()),
+      static_cast<unsigned long long>(network.stats().messages),
+      static_cast<unsigned long long>(network.stats().words));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Counting network: %u threads x %d values each, width 8\n\n",
+              kThreads, kPerThread);
+  run(Mechanism::kRpc);
+  run(Mechanism::kMigration);
+  run(Mechanism::kSharedMemory);
+  std::printf(
+      "\nSame values under every mechanism (the annotation affects only\n"
+      "performance); migration finishes with the fewest messages.\n");
+  return 0;
+}

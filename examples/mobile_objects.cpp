@@ -1,0 +1,106 @@
+// Mobile objects (Emerald-style object migration) next to computation
+// migration — the comparison the paper wanted to run ("We would like to
+// compare our results to object migration, such as the mechanism in
+// Emerald, but our group has not finished implementing object migration in
+// Prelude yet", §4).
+//
+// A "document" object starts on processor 3. An editor thread on processor
+// 0 works on it in long bursts. Under computation migration the editor's
+// activation commutes to the document for every burst; under object
+// migration the document moves in with the editor once. Then a reviewer on
+// another processor takes over — and the document follows the work.
+#include <cstdio>
+
+#include "core/mobile.h"
+#include "core/runtime.h"
+#include "net/constant_net.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+using namespace cm;
+using core::Ctx;
+
+namespace {
+
+sim::Task<int> edit(core::Runtime& rt, Ctx& self, int* words) {
+  co_await rt.compute(self, 60);
+  co_return ++*words;
+}
+
+sim::Task<> session(core::Runtime* rt, core::MobileObject* doc, int* words,
+                    sim::ProcId editor, int bursts, int edits_per_burst,
+                    const char* who) {
+  Ctx ctx{rt, editor};
+  const auto msgs0 = rt->network().stats().messages;
+  for (int b = 0; b < bursts; ++b) {
+    co_await doc->attract(ctx);  // usually free after the first burst
+    for (int e = 0; e < edits_per_burst; ++e) {
+      (void)co_await rt->call(ctx, doc->id(), core::CallOpts{4, 2, false},
+                              [rt, words](Ctx& self) -> sim::Task<int> {
+                                co_return co_await edit(*rt, self, words);
+                              });
+    }
+  }
+  std::printf("%-10s on proc %u: %d edits, %llu messages, doc now lives on "
+              "proc %u\n",
+              who, editor, bursts * edits_per_burst,
+              static_cast<unsigned long long>(rt->network().stats().messages -
+                                              msgs0),
+              doc->home());
+}
+
+sim::Task<> commuter(core::Runtime* rt, core::ObjectId doc, int* words,
+                     sim::ProcId editor, int bursts, int edits_per_burst) {
+  Ctx ctx{rt, editor};
+  const auto msgs0 = rt->network().stats().messages;
+  for (int b = 0; b < bursts; ++b) {
+    co_await rt->migrate(ctx, doc, 8);  // commute to the document
+    for (int e = 0; e < edits_per_burst; ++e) {
+      (void)co_await rt->call(ctx, doc, core::CallOpts{4, 2, false},
+                              [rt, words](Ctx& self) -> sim::Task<int> {
+                                co_return co_await edit(*rt, self, words);
+                              });
+    }
+    co_await rt->return_home(ctx, editor, 2);  // ... and back
+  }
+  std::printf("%-10s on proc %u: %d edits, %llu messages (commuting "
+              "activation)\n",
+              "commuter", editor, bursts * edits_per_burst,
+              static_cast<unsigned long long>(rt->network().stats().messages -
+                                              msgs0));
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  sim::Machine machine(engine, 6);
+  net::ConstantNetwork network(engine);
+  core::ObjectSpace objects;
+  core::Runtime rt(machine, network, objects, core::CostModel::software());
+
+  int words = 0;
+  const core::ObjectId doc_id = objects.create(/*home=*/3);
+  core::MobileObject doc(rt, doc_id, /*size_words=*/24);
+
+  std::printf("A document object starts on processor %u.\n\n", doc.home());
+
+  // Editor works in bursts with the object attracted to them...
+  sim::detach(session(&rt, &doc, &words, /*editor=*/0, 4, 8, "editor"));
+  engine.run();
+  // ... then a reviewer takes over and the document follows.
+  sim::detach(session(&rt, &doc, &words, /*editor=*/1, 4, 8, "reviewer"));
+  engine.run();
+  // For contrast: an activation that commutes instead of moving the data.
+  sim::detach(commuter(&rt, doc_id, &words, /*editor=*/2, 4, 8));
+  engine.run();
+
+  std::printf("\nTotal edits applied: %d (object moved %llu times)\n", words,
+              static_cast<unsigned long long>(doc.moves()));
+  std::printf(
+      "\nWith strong affinity the object moves once per ownership change;\n"
+      "the commuting activation pays two messages per burst forever. Flip\n"
+      "the access pattern to fine-grained sharing and the verdict flips too\n"
+      "— run bench/ablation_mechanisms to see both regimes.\n");
+  return 0;
+}

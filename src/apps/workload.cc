@@ -1,0 +1,199 @@
+#include "apps/workload.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "apps/btree.h"
+#include "apps/counting_network.h"
+#include "core/object.h"
+#include "core/runtime.h"
+#include "net/constant_net.h"
+#include "net/mesh_net.h"
+#include "shmem/coherent_memory.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace cm::apps {
+
+namespace {
+
+using core::Ctx;
+using core::Mechanism;
+using sim::Cycles;
+using sim::ProcId;
+using sim::Task;
+
+/// Shared control block for a measurement run.
+struct RunCtl {
+  bool stop = false;
+  Cycles warm_at = 0;
+  Cycles end_at = 0;
+  long ops = 0;
+  std::uint64_t words_at_warm = 0;
+  std::uint64_t msgs_at_warm = 0;
+};
+
+void count_op(RunCtl& ctl, Cycles now) {
+  if (now > ctl.warm_at && now <= ctl.end_at) ++ctl.ops;
+}
+
+Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
+                          Mechanism mech, ProcId home, std::uint64_t seed,
+                          Cycles think, RunCtl* ctl) {
+  Ctx ctx{rt, home};
+  sim::Rng rng(seed);
+  while (!ctl->stop) {
+    // Each request enters on a (deterministically) random wire, as counting
+    // network clients do in practice.
+    const auto wire = static_cast<unsigned>(rng.below(cn->width()));
+    (void)co_await cn->get_next(ctx, mech, wire);
+    // Bring the value (and, under migration, the activation) back home.
+    co_await rt->return_home(ctx, home, 2);
+    count_op(*ctl, rt->machine().engine().now());
+    if (think > 0) co_await rt->machine().sleep(think);
+  }
+}
+
+Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
+                       Mechanism mech, ProcId home, Cycles think,
+                       double insert_ratio, std::uint64_t key_space,
+                       std::uint64_t seed, RunCtl* ctl) {
+  Ctx ctx{rt, home};
+  sim::Rng rng(seed);
+  while (!ctl->stop) {
+    const std::uint64_t key = rng.below(key_space);
+    if (rng.uniform() < insert_ratio) {
+      (void)co_await bt->insert(ctx, mech, key, key);
+    } else {
+      (void)co_await bt->lookup(ctx, mech, key);
+    }
+    count_op(*ctl, rt->machine().engine().now());
+    if (think > 0) co_await rt->machine().sleep(think);
+  }
+}
+
+}  // namespace
+
+RunStats run_counting(const CountingConfig& cfg) {
+  sim::Engine eng;
+  CountingNetwork::Params np;
+  np.width = cfg.width;
+  np.first_balancer_proc = 0;
+  const unsigned nbal = 0;  // computed below from the wiring
+  (void)nbal;
+
+  // Balancers occupy the first B processors; requesters get their own.
+  const unsigned balancers =
+      BitonicWiring::build(cfg.width).balancers.size();
+  const auto nprocs = static_cast<ProcId>(balancers + cfg.requesters);
+  sim::Machine machine(eng, nprocs);
+  net::ConstantNetwork constant_net(eng);
+  net::MeshNetwork mesh_net(eng, nprocs, {});
+  net::Network& network =
+      cfg.mesh ? static_cast<net::Network&>(mesh_net)
+               : static_cast<net::Network&>(constant_net);
+  std::unique_ptr<shmem::CoherentMemory> mem;
+  if (cfg.scheme.mechanism == Mechanism::kSharedMemory) {
+    shmem::ProtocolParams pp;
+    pp.hw_sharer_pointers = cfg.limitless_pointers;
+    mem = std::make_unique<shmem::CoherentMemory>(machine, network,
+                                                  shmem::CacheParams{}, pp);
+  }
+  core::ObjectSpace objects;
+  core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
+  CountingNetwork cn(rt, mem.get(), np);
+
+  RunCtl ctl;
+  ctl.warm_at = cfg.window.warmup;
+  ctl.end_at = cfg.window.warmup + cfg.window.measure;
+
+  for (unsigned i = 0; i < cfg.requesters; ++i) {
+    const ProcId home = static_cast<ProcId>(balancers + i);
+    sim::detach(counting_requester(&rt, &cn, cfg.scheme.mechanism, home,
+                                   cfg.seed * 7919 + i, cfg.think, &ctl));
+  }
+  eng.at(ctl.warm_at, [&] {
+    ctl.words_at_warm = network.stats().words;
+    ctl.msgs_at_warm = network.stats().messages;
+  });
+  eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  eng.run();
+
+  RunStats out;
+  out.ops = ctl.ops;
+  out.window = cfg.window.measure;
+  out.words = network.stats().words - ctl.words_at_warm;
+  out.messages = network.stats().messages - ctl.msgs_at_warm;
+  if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
+  out.migrations = rt.stats().migrations;
+  out.remote_calls = rt.stats().remote_calls;
+  out.runtime = rt.stats();
+  return out;
+}
+
+RunStats run_btree(const BTreeConfig& cfg) {
+  sim::Engine eng;
+  const auto nprocs = static_cast<ProcId>(cfg.node_procs + cfg.requesters);
+  sim::Machine machine(eng, nprocs);
+  net::ConstantNetwork constant_net(eng);
+  net::MeshNetwork mesh_net(eng, nprocs, {});
+  net::Network& network =
+      cfg.mesh ? static_cast<net::Network&>(mesh_net)
+               : static_cast<net::Network&>(constant_net);
+  std::unique_ptr<shmem::CoherentMemory> mem;
+  if (cfg.scheme.mechanism == Mechanism::kSharedMemory) {
+    shmem::ProtocolParams pp;
+    pp.hw_sharer_pointers = cfg.limitless_pointers;
+    mem = std::make_unique<shmem::CoherentMemory>(machine, network,
+                                                  shmem::CacheParams{}, pp);
+  }
+  core::ObjectSpace objects;
+  core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
+
+  DistributedBTree::Params bp;
+  bp.max_entries = cfg.max_entries;
+  bp.node_procs = cfg.node_procs;
+  bp.seed = cfg.seed;
+  bp.replication = cfg.scheme.replication;
+  DistributedBTree bt(rt, mem.get(), bp);
+
+  // The paper builds a 10,000-key tree first; we load even keys so later
+  // random inserts (any key in [0, 2n)) hit a 50% fresh-key rate.
+  std::vector<std::uint64_t> keys(cfg.nkeys);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i;
+  bt.bulk_load(keys);
+
+  RunCtl ctl;
+  ctl.warm_at = cfg.window.warmup;
+  ctl.end_at = cfg.window.warmup + cfg.window.measure;
+
+  for (unsigned i = 0; i < cfg.requesters; ++i) {
+    const ProcId home = static_cast<ProcId>(cfg.node_procs + i);
+    sim::detach(btree_requester(&rt, &bt, cfg.scheme.mechanism, home,
+                                cfg.think, cfg.insert_ratio,
+                                2 * static_cast<std::uint64_t>(cfg.nkeys),
+                                cfg.seed * 1000003 + i, &ctl));
+  }
+  eng.at(ctl.warm_at, [&] {
+    ctl.words_at_warm = network.stats().words;
+    ctl.msgs_at_warm = network.stats().messages;
+  });
+  eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  eng.run();
+
+  RunStats out;
+  out.ops = ctl.ops;
+  out.window = cfg.window.measure;
+  out.words = network.stats().words - ctl.words_at_warm;
+  out.messages = network.stats().messages - ctl.msgs_at_warm;
+  if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
+  out.migrations = rt.stats().migrations;
+  out.remote_calls = rt.stats().remote_calls;
+  out.runtime = rt.stats();
+  return out;
+}
+
+}  // namespace cm::apps

@@ -1,0 +1,82 @@
+// Experiment drivers reproducing the paper's two workloads:
+//  * counting network, 8-64 requester threads, think time 0 / 10,000 cycles
+//    (Figures 2 and 3);
+//  * distributed B-tree, 16 requesters over a 10,000-key tree on 48 node
+//    processors (Tables 1-4 and the branching-factor ablation).
+//
+// Each driver builds a complete simulated machine (engine, processors,
+// network, optional coherent memory, runtime, application), runs requester
+// threads through a warmup + measurement window, and reports the paper's
+// two metrics: throughput (operations per 1000 cycles) and network bandwidth
+// (words sent per 10 cycles).
+#pragma once
+
+#include <cstdint>
+
+#include "core/mechanism.h"
+#include "core/stats.h"
+#include "sim/types.h"
+
+namespace cm::apps {
+
+struct Window {
+  sim::Cycles warmup = 20'000;
+  sim::Cycles measure = 150'000;
+};
+
+struct RunStats {
+  long ops = 0;              // operations completed inside the window
+  sim::Cycles window = 0;    // measurement window length
+  std::uint64_t words = 0;   // network words sent inside the window
+  std::uint64_t messages = 0;
+  double cache_hit_rate = 0.0;  // shared-memory schemes only
+  std::uint64_t migrations = 0;
+  std::uint64_t remote_calls = 0;
+  core::RtStats runtime;  // full runtime counters incl. Table-5 breakdown
+
+  [[nodiscard]] double throughput_per_1000() const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(ops) * 1000.0 /
+                             static_cast<double>(window);
+  }
+  [[nodiscard]] double words_per_10() const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(words) * 10.0 /
+                             static_cast<double>(window);
+  }
+};
+
+struct CountingConfig {
+  core::Scheme scheme;
+  // Alewife's coherence protocol [CKA91] is LimitLESS with a handful of
+  // hardware sharer pointers; 5 matches the Alewife design point the paper
+  // targets. 0 selects an idealised full-map directory.
+  unsigned limitless_pointers = 5;
+  bool mesh = true;   // route messages over a 2-D mesh with link
+                      // contention instead of the uniform-latency model
+  unsigned requesters = 8;   // 8..64, each on its own processor
+  sim::Cycles think = 0;     // 0 or 10,000 in the paper
+  unsigned width = 8;        // 8x8 network = 24 balancers on 24 processors
+  Window window{};
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
+
+struct BTreeConfig {
+  core::Scheme scheme;
+  unsigned limitless_pointers = 5;  // LimitLESS [CKA91]; 0 = full-map
+  bool mesh = true;                 // 2-D mesh instead of uniform latency
+  unsigned requesters = 16;
+  sim::Cycles think = 0;
+  unsigned max_entries = 100;  // paper: <=100; ablation: <=10
+  unsigned nkeys = 10'000;
+  double insert_ratio = 0.5;  // fraction of operations that are inserts
+  sim::ProcId node_procs = 48;
+  Window window{};
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);
+
+}  // namespace cm::apps

@@ -1,0 +1,92 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+
+namespace cm::core {
+
+void AdaptiveChooser::record(ObjectId obj, sim::ProcId accessor, bool write) {
+  Profile& p = profiles_[obj];
+  ++p.accesses;
+  if (write) ++p.writes;
+  ++p.by_accessor[accessor];
+  if (accessor != p.last_accessor) {
+    ++p.runs;
+    p.last_accessor = accessor;
+  }
+}
+
+const AdaptiveChooser::Profile* AdaptiveChooser::find(ObjectId obj) const {
+  const auto it = profiles_.find(obj);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t AdaptiveChooser::accesses(ObjectId obj) const {
+  const Profile* p = find(obj);
+  return p == nullptr ? 0 : p->accesses;
+}
+
+double AdaptiveChooser::write_ratio(ObjectId obj) const {
+  const Profile* p = find(obj);
+  if (p == nullptr || p->accesses == 0) return 0.0;
+  return static_cast<double>(p->writes) / static_cast<double>(p->accesses);
+}
+
+double AdaptiveChooser::avg_run_length(ObjectId obj) const {
+  const Profile* p = find(obj);
+  if (p == nullptr || p->runs == 0) return 0.0;
+  return static_cast<double>(p->accesses) / static_cast<double>(p->runs);
+}
+
+double AdaptiveChooser::dominant_share(ObjectId obj) const {
+  const Profile* p = find(obj);
+  if (p == nullptr || p->accesses == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (const auto& [proc, count] : p->by_accessor) {
+    best = std::max(best, count);
+  }
+  return static_cast<double>(best) / static_cast<double>(p->accesses);
+}
+
+Mechanism AdaptiveChooser::recommend(ObjectId obj, unsigned frame_words,
+                                     unsigned object_words) const {
+  const Profile* p = find(obj);
+  // No history yet: computation migration is the paper's general-purpose
+  // traversal mechanism and is free when the object turns out to be local.
+  if (p == nullptr || p->accesses < 8) return Mechanism::kMigration;
+
+  // §2.4: huge live state makes migration "fairly expensive" — but only
+  // prefer RPC if moving the object instead is not clearly better.
+  const bool huge_frame = frame_words >= tunables_.frame_words_rpc_cutoff;
+
+  // One processor doing (nearly) all the accessing: move the object to it
+  // once, Emerald-style — unless the object dwarfs the traffic it saves.
+  if (dominant_share(obj) >= tunables_.dominant_accessor_share &&
+      object_words <= 16 * frame_words) {
+    return Mechanism::kObjectMigration;
+  }
+
+  // §2.2: rarely-written data is what hardware replication is for. Without
+  // coherent-memory hardware, migrating the computation is still the
+  // cheapest read path (one message per access run instead of RPC's two
+  // per access).
+  if (write_ratio(obj) <= tunables_.read_mostly_threshold) {
+    return tunables_.allow_shared_memory ? Mechanism::kSharedMemory
+                                         : Mechanism::kMigration;
+  }
+
+  if (huge_frame) return Mechanism::kRpc;
+
+  // Write-shared, multi-accessor state with real access runs: the paper's
+  // case for computation migration.
+  if (avg_run_length(obj) >= tunables_.run_length_for_migration) {
+    return Mechanism::kMigration;
+  }
+  // Short runs on a tiny object: moving the object is as cheap as moving
+  // the computation, and it spreads the handling across the accessors
+  // instead of serialising continuation receptions at one home.
+  if (object_words <= 2 * frame_words) return Mechanism::kObjectMigration;
+  return frame_words < tunables_.frame_words_rpc_cutoff ? Mechanism::kMigration
+                                                        : Mechanism::kRpc;
+}
+
+}  // namespace cm::core

@@ -1,0 +1,81 @@
+// Automatic mechanism selection — a runtime, profile-guided stand-in for
+// the paper's §6 future work: "We are also developing compiler analysis
+// techniques for automatically choosing among the remote access
+// mechanisms."
+//
+// The chooser observes per-object access streams (who accessed, read or
+// write) and recommends a mechanism using the decision criteria the paper
+// lays out in §2:
+//   * read-mostly data            -> data migration / caching wins, because
+//     replication lets non-conflicting reads proceed in parallel (§2.2);
+//   * long same-thread access runs with small live state -> computation
+//     migration (§2.4: "if the executing thread makes a series of accesses
+//     to the same data, there is a great deal to be gained by moving those
+//     accesses to the data");
+//   * one dominant accessor        -> Emerald-style object migration (move
+//     the object once, then everything is local);
+//   * huge activation state        -> RPC (§2.4: "if the amount of state is
+//     large ... computation migration will be fairly expensive").
+//
+// This is intentionally a heuristic over observable behaviour, not a static
+// analysis; it demonstrates that the annotation *placement* problem the
+// paper leaves to the programmer has enough signal to automate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/mechanism.h"
+#include "core/object.h"
+#include "sim/types.h"
+
+namespace cm::core {
+
+class AdaptiveChooser {
+ public:
+  struct Tunables {
+    double read_mostly_threshold = 0.15;  // write ratio below this -> SM
+    double dominant_accessor_share = 0.80;  // one proc above this -> OBJ
+    double run_length_for_migration = 1.5;  // avg run at/above this -> CM
+    unsigned frame_words_rpc_cutoff = 96;  // frames this big -> RPC
+    bool allow_shared_memory = true;  // false on machines without coherent
+                                      // shared-memory hardware ("in
+                                      // non-shared memory systems...", §6)
+  };
+
+  AdaptiveChooser() = default;
+  explicit AdaptiveChooser(const Tunables& t) : tunables_(t) {}
+
+  /// Record one access to `obj` from processor `accessor`.
+  void record(ObjectId obj, sim::ProcId accessor, bool write);
+
+  /// Recommend a mechanism for accessing `obj` given the live-state size a
+  /// migration would ship and the object's own size. Falls back to
+  /// computation migration (the paper's general-purpose winner for
+  /// traversal-style access) when there is not enough history.
+  [[nodiscard]] Mechanism recommend(ObjectId obj, unsigned frame_words,
+                                    unsigned object_words) const;
+
+  // ---- observable profile, for tests and reports ----
+  [[nodiscard]] std::uint64_t accesses(ObjectId obj) const;
+  [[nodiscard]] double write_ratio(ObjectId obj) const;
+  [[nodiscard]] double avg_run_length(ObjectId obj) const;
+  /// Fraction of accesses made by the most frequent accessor.
+  [[nodiscard]] double dominant_share(ObjectId obj) const;
+
+ private:
+  struct Profile {
+    std::uint64_t accesses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t runs = 0;  // maximal same-accessor streaks
+    sim::ProcId last_accessor = sim::kNoProc;
+    std::unordered_map<sim::ProcId, std::uint64_t> by_accessor;
+  };
+
+  [[nodiscard]] const Profile* find(ObjectId obj) const;
+
+  Tunables tunables_;
+  std::unordered_map<ObjectId, Profile> profiles_;
+};
+
+}  // namespace cm::core

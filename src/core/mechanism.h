@@ -1,0 +1,61 @@
+// Remote-access mechanism selection — "programmers (or compilers) should be
+// able to choose the option that is best for a specific application on a
+// specific architecture" (§1). A Scheme bundles a mechanism with the
+// hardware-support and replication options the paper's tables enumerate.
+#pragma once
+
+#include <string>
+
+#include "core/cost_model.h"
+
+namespace cm::core {
+
+enum class Mechanism {
+  kRpc,           // remote procedure call (§2.1)
+  kMigration,     // computation migration (§2.4) — "CP" in the tables
+  kSharedMemory,  // cache-coherent shared memory / data migration (§2.2)
+  kObjectMigration,  // Emerald-style object mobility [JLHB88] — the
+                     // comparison §4 wished for ("our group has not
+                     // finished implementing object migration in Prelude")
+  kThreadMigration,  // whole-thread migration (§2.3): like computation
+                     // migration but every hop ships the entire thread
+                     // state, not just the top activation's live variables
+};
+
+[[nodiscard]] constexpr const char* mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kRpc: return "RPC";
+    case Mechanism::kMigration: return "CP";
+    case Mechanism::kSharedMemory: return "SM";
+    case Mechanism::kObjectMigration: return "OBJ";
+    case Mechanism::kThreadMigration: return "TM";
+  }
+  return "?";
+}
+
+struct Scheme {
+  Mechanism mechanism = Mechanism::kRpc;
+  bool hw_support = false;   // register-mapped NI + hardware OID translation
+  bool replication = false;  // software replication of the hot object (root)
+
+  [[nodiscard]] CostModel cost_model() const {
+    CostModel m = CostModel::software();
+    if (hw_support) m = m.with_hw_message().with_hw_oid();
+    return m;
+  }
+
+  /// Table-style label, e.g. "CP w/repl. & HW".
+  [[nodiscard]] std::string name() const {
+    std::string s = mechanism_name(mechanism);
+    if (replication && hw_support) {
+      s += " w/repl. & HW";
+    } else if (replication) {
+      s += " w/repl.";
+    } else if (hw_support) {
+      s += " w/HW";
+    }
+    return s;
+  }
+};
+
+}  // namespace cm::core

@@ -1,0 +1,43 @@
+#include "core/mobile.h"
+
+namespace cm::core {
+
+sim::Task<> MobileObject::attract(Ctx& ctx) {
+  const CostModel& c = rt_->cost();
+  co_await rt_->charge(ctx.proc, c.locality_check, Category::kLocalityCheck);
+  if (home() == ctx.proc) co_return;
+
+  // One mover at a time; re-check after the lock (someone may have dragged
+  // the object here, or elsewhere, while we waited).
+  co_await transfer_lock_.lock();
+  const ProcId cur = home();
+  if (cur == ctx.proc) {
+    transfer_lock_.unlock();
+    co_return;
+  }
+  ++moves_;
+  ++rt_->mutable_stats().object_moves;
+  rt_->mutable_stats().moved_object_words += size_words_;
+
+  // Control request to the object's current home...
+  co_await rt_->charge(ctx.proc, c.sender_total(1), Category::kObjectMove);
+  co_await rt_->transfer(ctx.proc, cur, 1);
+  // ... which packs up the object: unbind it from the local object table,
+  // leave a forwarding address (Emerald-style), marshal the state ...
+  co_await rt_->charge(cur, c.receiver_total(1, false) + c.oid_translation,
+                       Category::kObjectMove);
+  co_await rt_->charge(cur, c.sender_total(size_words_),
+                       Category::kObjectMove);
+  co_await rt_->transfer(cur, ctx.proc, size_words_);
+  // ... and the receiver installs it: a full software reception (a thread
+  // runs the installer), plus rebinding the global object table entry.
+  co_await rt_->charge(ctx.proc,
+                       c.receiver_total(size_words_, /*create_thread=*/true) +
+                           c.oid_translation,
+                       Category::kObjectMove);
+  rt_->objects().move(id_, ctx.proc);
+
+  transfer_lock_.unlock();
+}
+
+}  // namespace cm::core

@@ -1,0 +1,43 @@
+// Global object name space: every shared object has a global id and a home
+// processor. On a real message-passing machine this mapping is the software
+// global-object table whose translation cost Table 5 measures (and which the
+// J-Machine provides in hardware); here it is also how the runtime decides
+// whether an instance-method call is local.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cm::core {
+
+using ObjectId = std::uint32_t;
+
+class ObjectSpace {
+ public:
+  /// Register a new object homed on `home`; returns its global id.
+  ObjectId create(sim::ProcId home) {
+    homes_.push_back(home);
+    return static_cast<ObjectId>(homes_.size() - 1);
+  }
+
+  [[nodiscard]] sim::ProcId home_of(ObjectId id) const {
+    assert(id < homes_.size());
+    return homes_[id];
+  }
+
+  /// Rebind an object's home (object migration / Emerald-style mobility).
+  void move(ObjectId id, sim::ProcId new_home) {
+    assert(id < homes_.size());
+    homes_[id] = new_home;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return homes_.size(); }
+
+ private:
+  std::vector<sim::ProcId> homes_;
+};
+
+}  // namespace cm::core

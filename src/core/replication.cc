@@ -1,0 +1,86 @@
+#include "core/replication.h"
+
+#include <memory>
+
+namespace cm::core {
+
+Replicated::Replicated(Runtime& rt, ObjectId primary, unsigned object_words)
+    : rt_(&rt),
+      primary_(primary),
+      home_(rt.objects().home_of(primary)),
+      object_words_(object_words),
+      valid_(rt.machine().size(), false) {
+  valid_[home_] = true;
+}
+
+sim::Task<> Replicated::ensure(Ctx& ctx) {
+  const ProcId p = ctx.proc;
+  co_await rt_->charge(p, rt_->cost().locality_check,
+                       Category::kLocalityCheck);
+  if (p == home_ || valid_[p]) {
+    ++rt_->mutable_stats().replica_hits;
+    co_return;
+  }
+  ++rt_->mutable_stats().replica_fetches;
+
+  const CostModel& c = rt_->cost();
+  // Fetch request (short message) ...
+  co_await rt_->charge(p, c.sender_total(1), Category::kReplication);
+  co_await rt_->transfer(p, home_, 1);
+  // ... served on the primary's processor without creating a thread (a
+  // short method in the paper's sense) ...
+  co_await rt_->charge(home_, c.receiver_total(1, /*create_thread=*/false),
+                       Category::kReplication);
+  // ... and the object's contents come back.
+  co_await rt_->charge(home_, c.sender_total(object_words_),
+                       Category::kReplication);
+  co_await rt_->transfer(home_, p, object_words_);
+  co_await rt_->charge(p, c.reply_receive(object_words_),
+                       Category::kReplication);
+  valid_[p] = true;
+}
+
+void Replicated::rebind(ObjectId new_primary) {
+  primary_ = new_primary;
+  home_ = rt_->objects().home_of(new_primary);
+  valid_.assign(valid_.size(), false);
+  valid_[home_] = true;
+}
+
+sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
+  const CostModel& c = rt_->cost();
+  std::vector<ProcId> targets;
+  for (ProcId p = 0; p < static_cast<ProcId>(valid_.size()); ++p) {
+    if (p != home_ && valid_[p]) targets.push_back(p);
+  }
+  if (targets.empty()) co_return;
+  rt_->mutable_stats().replica_invalidations += targets.size();
+
+  // Broadcast invalidations from the writer's processor and gather acks.
+  auto remaining = std::make_shared<int>(static_cast<int>(targets.size()));
+  sim::OneShot<sim::Unit> all_acked;
+  for (const ProcId t : targets) {
+    valid_[t] = false;
+    co_await rt_->charge(ctx.proc, c.sender_total(1), Category::kReplication);
+    rt_->network().send(
+        ctx.proc, t, 1 + c.header_words, net::Traffic::kRuntime,
+        [this, t, from = ctx.proc, remaining, all_acked, &c] {
+          // At the replica holder: cheap handler, then ack.
+          rt_->machine().exec(
+              t, c.receiver_total(1, false),
+              [this, t, from, remaining, all_acked, &c] {
+                rt_->network().send(t, from, 1 + c.header_words,
+                                    net::Traffic::kRuntime,
+                                    [remaining, all_acked] {
+                                      if (--*remaining == 0) {
+                                        all_acked.set(sim::Unit{});
+                                      }
+                                    });
+              });
+        });
+  }
+  co_await all_acked.get();
+  co_await rt_->charge(ctx.proc, c.reply_receive(1), Category::kReplication);
+}
+
+}  // namespace cm::core

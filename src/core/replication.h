@@ -1,0 +1,47 @@
+// Software replication of read-mostly objects (multi-version memory,
+// Weihl-Wang 1990). Used for the "w/repl." schemes: the B-tree root is
+// replicated on every processor, so lookups consult a local copy instead of
+// all migrating to (or RPC-ing) the root's processor, relieving the root
+// bottleneck. Writers invalidate every replica before modifying the object.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace cm::core {
+
+class Replicated {
+ public:
+  /// `primary` is the authoritative object; `object_words` is the payload
+  /// size of a replica fetch (the object's contents).
+  Replicated(Runtime& rt, ObjectId primary, unsigned object_words);
+
+  [[nodiscard]] ObjectId primary() const noexcept { return primary_; }
+  [[nodiscard]] ProcId home() const noexcept { return home_; }
+  [[nodiscard]] bool valid_at(ProcId p) const { return valid_.at(p); }
+
+  /// Make `ctx.proc`'s replica usable: free if it is the primary's home or
+  /// the local replica is valid; otherwise a 2-message fetch from the
+  /// primary. Afterwards the caller reads the object locally.
+  [[nodiscard]] sim::Task<> ensure(Ctx& ctx);
+
+  /// Invalidate every remote replica (broadcast + gathered acks). Called by
+  /// a writer before it modifies the primary; the writer should be running
+  /// at the primary's home.
+  [[nodiscard]] sim::Task<> invalidate_all(Ctx& ctx);
+
+  /// Point the replica set at a different primary (e.g. after a root split
+  /// replaces the replicated root). All replicas become invalid; callers
+  /// should have run `invalidate_all` first so the timing is charged.
+  void rebind(ObjectId new_primary);
+
+ private:
+  Runtime* rt_;
+  ObjectId primary_;
+  ProcId home_;
+  unsigned object_words_;
+  std::vector<bool> valid_;  // per processor; home entry is always true
+};
+
+}  // namespace cm::core

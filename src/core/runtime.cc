@@ -1,0 +1,113 @@
+#include "core/runtime.h"
+
+namespace cm::core {
+
+// The three software paths below each run as ONE atomic CPU charge: a real
+// message handler (or stub) runs to completion on its processor, so
+// concurrent activations queue FCFS behind whole handlers rather than
+// interleaving at instruction granularity. The per-category cycles are still
+// recorded individually for the Table-5 breakdown.
+
+sim::Task<> Runtime::receive_request(ProcId at, unsigned words,
+                                     Dispatch how) {
+  const bool create_thread = how != Dispatch::kShortMethod;
+  Breakdown& bd = stats_.breakdown;
+  bd.add(Category::kCopyPacket, cost_.copy(words));
+  bd.add(Category::kRecvAllocPacket, cost_.alloc_packet_recv());
+  bd.add(Category::kForwardingCheck, cost_.forwarding_check);
+  bd.add(Category::kUnmarshal, cost_.unmarshal(words));
+  bd.add(Category::kOidTranslation, cost_.oid());
+  if (create_thread) bd.add(Category::kThreadCreation, cost_.thread_creation);
+  bd.add(Category::kScheduler, cost_.scheduler);
+  bd.add(Category::kRecvLinkage, cost_.recv_linkage);
+  Cycles total = cost_.receiver_total(words, create_thread);
+  if (how == Dispatch::kRpcThread) {
+    bd.add(Category::kGeneralStub, cost_.rpc_stub_extra(words));
+    total += cost_.rpc_stub_extra(words);
+  }
+  co_await machine_->compute(at, total);
+}
+
+sim::Task<> Runtime::receive_reply(ProcId at, unsigned words) {
+  Breakdown& bd = stats_.breakdown;
+  bd.add(Category::kCopyPacket, cost_.copy(words));
+  bd.add(Category::kUnmarshal, cost_.unmarshal(words));
+  bd.add(Category::kScheduler, cost_.scheduler);
+  co_await machine_->compute(at, cost_.reply_receive(words));
+}
+
+sim::Task<> Runtime::send_path(ProcId at, unsigned words) {
+  Breakdown& bd = stats_.breakdown;
+  bd.add(Category::kSendLinkage, cost_.send_linkage);
+  bd.add(Category::kMarshal, cost_.marshal(words));
+  bd.add(Category::kSendAllocPacket, cost_.alloc_packet_send());
+  bd.add(Category::kMessageSend, cost_.message_send);
+  co_await machine_->compute(at, cost_.sender_total(words));
+}
+
+sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
+  const ProcId dest = objects_->home_of(obj);
+  // The locality check is shared with ordinary instance-method dispatch.
+  co_await charge(ctx.proc, cost_.locality_check, Category::kLocalityCheck);
+  if (dest == ctx.proc) {
+    // Already local: the annotation costs nothing (paper §3.1).
+    ++stats_.migrations_local;
+    co_return;
+  }
+
+  ++stats_.migrations;
+  stats_.migrated_words += live_words;
+
+  // Continuation client stub: marshal the live variables of this activation
+  // and launch a single message. (§3.2: "the continuation procedure's body
+  // is the continuation of the migrating procedure at the point of
+  // migration; its arguments are the live variables at that point".)
+  co_await send_path(ctx.proc, live_words);
+  co_await transfer(ctx.proc, dest, live_words);
+
+  // Continuation server stub at the destination: unmarshal the live
+  // variables into a fresh activation and a thread to run it. The original
+  // thread at the source is destroyed (its linkage information travelled
+  // with the message), so the eventual return short-circuits.
+  co_await receive_request(dest, live_words, Dispatch::kContinuation);
+  ++stats_.threads_created;
+
+  // The activation now runs at the data.
+  ctx.proc = dest;
+}
+
+sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
+  if (ctx.proc == origin) co_return;
+  ++stats_.replies;
+  co_await send_path(ctx.proc, ret_words);
+  co_await transfer(ctx.proc, origin, ret_words);
+  co_await receive_reply(origin, ret_words);
+  ctx.proc = origin;
+}
+
+sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
+                                   unsigned live_words) {
+  const ProcId dest = objects_->home_of(obj);
+  if (group.empty()) co_return;
+  Ctx& top = *group.front();
+  co_await charge(top.proc, cost_.locality_check, Category::kLocalityCheck);
+  if (dest == top.proc) {
+    ++stats_.migrations_local;
+    co_return;
+  }
+
+  ++stats_.migrations;
+  stats_.migrated_words += live_words;
+
+  // One message carries the live words of every activation in the group;
+  // marshaling/unmarshaling scale with the total, but the fixed per-message
+  // costs are paid once — the point of multi-activation migration.
+  co_await send_path(top.proc, live_words);
+  co_await transfer(top.proc, dest, live_words);
+  co_await receive_request(dest, live_words, Dispatch::kContinuation);
+  ++stats_.threads_created;
+
+  for (Ctx* c : group) c->proc = dest;
+}
+
+}  // namespace cm::core

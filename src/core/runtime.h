@@ -1,0 +1,203 @@
+// The Prelude-style runtime: instance-method calls on global objects with a
+// choice of remote-access mechanism per call site.
+//
+//  * RPC (§2.1): the calling thread blocks; client/server stubs marshal
+//    arguments and results; the method body runs in a (possibly new) thread
+//    at the object's home; two messages per call.
+//
+//  * Computation migration (§2.4/§3): `co_await ctx.migrate(obj, live_words)`
+//    is the paper's program annotation. It is conditional on locality (free
+//    if the object is already local), ships only the live variables of the
+//    current activation in ONE message, and re-binds the activation's
+//    processor so everything it does afterwards — including further
+//    instance-method calls and further migrations — happens at the data.
+//    When the activation finally returns, the reply goes directly from
+//    wherever it ended up to its caller ("short-circuiting" the return path
+//    through intermediate processors).
+//
+//  * Shared memory (§2.2) is provided by shmem::CoherentMemory; methods then
+//    run on the caller's processor against coherently cached data, so the
+//    runtime below is not involved in data movement.
+//
+// The embedding: a simulated thread is a coroutine and the coroutine frame
+// is the activation record. `Ctx` carries the activation's current processor
+// — migration mutates `ctx.proc`, which is exactly "continue executing this
+// frame over there". Nested activations each get their own Ctx, so migrating
+// a callee never moves its caller (single-activation migration); helpers for
+// multi-activation migration move a parent Ctx along (§6 future work).
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/object.h"
+#include "core/stats.h"
+#include "net/network.h"
+#include "sim/machine.h"
+#include "sim/oneshot.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace cm::core {
+
+using sim::Cycles;
+using sim::ProcId;
+
+class Runtime;
+
+/// Per-activation execution context. `proc` is where the activation is
+/// currently running; computation migration re-binds it.
+struct Ctx {
+  Runtime* rt = nullptr;
+  ProcId proc = 0;
+
+  Ctx(Runtime* r, ProcId p) : rt(r), proc(p) {}
+};
+
+/// Per-call options.
+struct CallOpts {
+  unsigned arg_words = 4;   // request payload
+  unsigned ret_words = 2;   // reply payload
+  bool short_method = false;  // Active-Messages-style fast path: the paper's
+                              // optimisation that skips thread creation for
+                              // short methods (e.g. remote record access)
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Machine& machine, net::Network& network, ObjectSpace& objects,
+          CostModel cost)
+      : machine_(&machine), network_(&network), objects_(&objects),
+        cost_(cost) {}
+
+  [[nodiscard]] sim::Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] ObjectSpace& objects() noexcept { return *objects_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] const RtStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] RtStats& mutable_stats() noexcept { return stats_; }
+
+  /// Charge cycles on processor `p`, attributed to `cat`.
+  [[nodiscard]] auto charge(ProcId p, Cycles cycles, Category cat) {
+    stats_.breakdown.add(cat, cycles);
+    return machine_->compute(p, cycles);
+  }
+
+  /// Charge `cycles` of application work on the activation's current
+  /// processor (Table 5 "User code").
+  [[nodiscard]] auto compute(Ctx& ctx, Cycles cycles) {
+    return charge(ctx.proc, cycles, Category::kUserCode);
+  }
+
+  /// Awaitable runtime message src -> dst carrying `words` payload words
+  /// (header added here); resumes at delivery time.
+  [[nodiscard]] auto transfer(ProcId src, ProcId dst, unsigned words) {
+    const unsigned total = words + cost_.header_words;
+    stats_.breakdown.add(Category::kNetworkTransit,
+                         network_->latency(src, dst, total));
+    return sim::suspend_to([this, src, dst, total](std::coroutine_handle<> h) {
+      network_->send(src, dst, total, net::Traffic::kRuntime,
+                     [h] { h.resume(); });
+    });
+  }
+
+  /// THE ANNOTATION (paper §3.1): migrate the current activation to `obj`'s
+  /// processor, shipping `live_words` words of live variables. No-op when
+  /// the object is already local — the annotation affects performance only,
+  /// never semantics, and costs local accesses nothing.
+  [[nodiscard]] sim::Task<> migrate(Ctx& ctx, ObjectId obj,
+                                    unsigned live_words);
+
+  /// Finish a migratory procedure: if the activation ended away from
+  /// `origin`, send its result (`ret_words`) back in a single message — the
+  /// short-circuit return, paid once no matter how many hops the activation
+  /// made — and re-bind the context to `origin`. Free if it never moved.
+  [[nodiscard]] sim::Task<> return_home(Ctx& ctx, ProcId origin,
+                                        unsigned ret_words);
+
+  /// Future-work extension (§6): migrate a group of activations together
+  /// (e.g. caller + callee). Ships the summed live words in one message and
+  /// re-binds every context in `group` to the destination.
+  [[nodiscard]] sim::Task<> migrate_group(std::vector<Ctx*> group,
+                                          ObjectId obj, unsigned live_words);
+
+  /// Invoke an instance method on `obj`. The body always executes at the
+  /// object's home processor (Prelude semantics); if the caller is not
+  /// there, this is an RPC. `body(Ctx&)` receives the method activation's
+  /// context — if the body migrates (or calls things that do), the reply is
+  /// sent from wherever the activation finished, directly to the caller.
+  template <class F>
+  [[nodiscard]] auto call(Ctx& caller, ObjectId obj, CallOpts opts, F body)
+      -> sim::Task<typename std::invoke_result_t<F, Ctx&>::value_type> {
+    using R = typename std::invoke_result_t<F, Ctx&>::value_type;
+    static_assert(!std::is_void_v<R>,
+                  "method bodies return a value; use call<Unit>");
+
+    const ProcId home = objects_->home_of(obj);
+    // Every instance-method call checks locality (so this is not an extra
+    // cost for computation migration).
+    co_await charge(caller.proc, cost_.locality_check,
+                    Category::kLocalityCheck);
+
+    if (home == caller.proc) {
+      ++stats_.local_calls;
+      Ctx callee{this, home};
+      co_return co_await body(callee);
+    }
+
+    // ---- client stub ----
+    ++stats_.remote_calls;
+    co_await send_path(caller.proc, opts.arg_words);
+    const ProcId reply_to = caller.proc;
+    co_await transfer(caller.proc, home, opts.arg_words);
+
+    // ---- server stub (now executing at `home`) ----
+    co_await receive_request(home, opts.arg_words,
+                             opts.short_method ? Dispatch::kShortMethod
+                                               : Dispatch::kRpcThread);
+    if (opts.short_method) {
+      ++stats_.fast_path_calls;
+    } else {
+      ++stats_.threads_created;
+    }
+
+    Ctx callee{this, home};
+    R result = co_await body(callee);
+
+    // ---- reply: sent from wherever the method activation ended up. If it
+    // migrated, this short-circuits straight back to the caller. ----
+    ++stats_.replies;
+    co_await send_path(callee.proc, opts.ret_words);
+    co_await transfer(callee.proc, reply_to, opts.ret_words);
+
+    // ---- back at the caller: deliver the reply to the blocked thread ----
+    co_await receive_reply(reply_to, opts.ret_words);
+    co_return result;
+  }
+
+ private:
+  /// How an incoming request is dispatched at the receiver.
+  enum class Dispatch {
+    kShortMethod,   // Active-Messages fast path: no thread
+    kRpcThread,     // general-purpose stub, thread per call (§4.3)
+    kContinuation,  // migration: unmarshal into the activation (§3.3)
+  };
+  /// Receiver-side software path for an incoming request message.
+  [[nodiscard]] sim::Task<> receive_request(ProcId at, unsigned words,
+                                            Dispatch how);
+  /// Receiver-side path for a reply delivered to a blocked thread.
+  [[nodiscard]] sim::Task<> receive_reply(ProcId at, unsigned words);
+  /// Sender-side stub path (linkage + marshal + packet + launch), atomic.
+  [[nodiscard]] sim::Task<> send_path(ProcId at, unsigned words);
+
+  sim::Machine* machine_;
+  net::Network* network_;
+  ObjectSpace* objects_;
+  CostModel cost_;
+  RtStats stats_;
+};
+
+}  // namespace cm::core

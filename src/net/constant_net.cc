@@ -1,0 +1,23 @@
+#include "net/constant_net.h"
+
+namespace cm::net {
+
+void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
+                           Traffic kind, std::function<void()> deliver) {
+  if (src == dst) {
+    // Loopback (e.g. coherence request for a locally-homed line): delivered
+    // immediately and not counted as network traffic.
+    engine_->after(0, std::move(deliver));
+    return;
+  }
+  stats_.record(kind, words);
+  engine_->after(latency(src, dst, words), std::move(deliver));
+}
+
+sim::Cycles ConstantNetwork::latency(sim::ProcId src, sim::ProcId dst,
+                                     unsigned words) const {
+  if (src == dst) return 0;
+  return cfg_.launch + cfg_.per_word * words;
+}
+
+}  // namespace cm::net

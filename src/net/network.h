@@ -1,0 +1,66 @@
+// Interconnect abstraction. Both runtime messages (RPC requests/replies,
+// migrated activations) and cache-coherence protocol messages travel through
+// the same Network object, so the bandwidth numbers reported for Figure 3 /
+// Tables 2 and 4 account for *all* traffic, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.h"
+
+namespace cm::net {
+
+/// Classification of traffic for reporting; does not affect timing.
+enum class Traffic : std::uint8_t {
+  kRuntime,    // RPC / migration / replication messages (software)
+  kCoherence,  // directory-protocol messages (hardware)
+};
+
+/// Cumulative traffic counters. Benchmarks snapshot these around the
+/// measurement window to compute "words sent / 10 cycles".
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  std::uint64_t runtime_messages = 0;
+  std::uint64_t runtime_words = 0;
+  std::uint64_t coherence_messages = 0;
+  std::uint64_t coherence_words = 0;
+
+  void record(Traffic kind, unsigned w) noexcept {
+    ++messages;
+    words += w;
+    if (kind == Traffic::kRuntime) {
+      ++runtime_messages;
+      runtime_words += w;
+    } else {
+      ++coherence_messages;
+      coherence_words += w;
+    }
+  }
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Send a `words`-word message from `src` to `dst`; `deliver` runs at the
+  /// arrival time (in an engine event at the destination). The destination
+  /// CPU is NOT implicitly occupied — message-handling software costs are
+  /// charged by the runtime layer; hardware protocol handling is charged to
+  /// the memory controller by the coherence layer.
+  virtual void send(sim::ProcId src, sim::ProcId dst, unsigned words,
+                    Traffic kind, std::function<void()> deliver) = 0;
+
+  /// Pure timing query: cycles a `words`-word message takes src -> dst under
+  /// zero load. Used by analytic checks and tests.
+  [[nodiscard]] virtual sim::Cycles latency(sim::ProcId src, sim::ProcId dst,
+                                            unsigned words) const = 0;
+
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+
+ protected:
+  NetStats stats_;
+};
+
+}  // namespace cm::net

@@ -1,0 +1,65 @@
+// Global shared address space and allocator.
+//
+// The paper's target machine "provides both private memory and shared
+// memory"; shared data lives in a global address space whose home processor
+// is encoded in the address (high bits), as on Alewife. This is a
+// timing-only simulation: the actual bytes live in ordinary host objects;
+// the shared-memory layer tracks coherence state and charges protocol
+// traffic/latency for the address ranges the application touches.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cm::shmem {
+
+/// Global shared-memory address.
+using Addr = std::uint64_t;
+
+/// Cache-line-aligned address >> kLineShift.
+using Line = std::uint64_t;
+
+inline constexpr unsigned kLineShift = 4;  // 16-byte lines (paper §4)
+inline constexpr unsigned kLineBytes = 1u << kLineShift;
+inline constexpr unsigned kHomeShift = 32;  // home proc in bits [32..)
+
+[[nodiscard]] inline Line line_of(Addr a) noexcept { return a >> kLineShift; }
+[[nodiscard]] inline sim::ProcId home_of_addr(Addr a) noexcept {
+  return static_cast<sim::ProcId>(a >> kHomeShift);
+}
+[[nodiscard]] inline sim::ProcId home_of_line(Line l) noexcept {
+  return static_cast<sim::ProcId>(l >> (kHomeShift - kLineShift));
+}
+
+/// Number of lines an access [a, a+bytes) touches.
+[[nodiscard]] inline unsigned lines_touched(Addr a, unsigned bytes) noexcept {
+  if (bytes == 0) return 0;
+  const Line first = line_of(a);
+  const Line last = line_of(a + bytes - 1);
+  return static_cast<unsigned>(last - first + 1);
+}
+
+/// Bump allocator over the global space: each processor owns a 4 GiB home
+/// region; allocations are line-aligned so distinct objects never share a
+/// cache line (no false sharing unless a client asks for it explicitly).
+class GlobalHeap {
+ public:
+  explicit GlobalHeap(sim::ProcId nprocs) : next_(nprocs, 0) {}
+
+  [[nodiscard]] Addr alloc(sim::ProcId home, std::uint64_t bytes) {
+    assert(home < next_.size());
+    const std::uint64_t aligned = (bytes + kLineBytes - 1) & ~static_cast<std::uint64_t>(kLineBytes - 1);
+    const std::uint64_t off = next_[home];
+    next_[home] = off + aligned;
+    assert(next_[home] < (1ull << kHomeShift) && "home region exhausted");
+    return (static_cast<Addr>(home) << kHomeShift) | off;
+  }
+
+ private:
+  std::vector<std::uint64_t> next_;
+};
+
+}  // namespace cm::shmem

@@ -1,0 +1,286 @@
+#include "shmem/coherent_memory.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cm::shmem {
+
+CoherentMemory::CoherentMemory(sim::Machine& machine, net::Network& network,
+                               CacheParams cache_params, ProtocolParams params)
+    : machine_(&machine),
+      network_(&network),
+      params_(params),
+      heap_(machine.size()) {
+  assert(machine.size() <= kMaxProcs &&
+         "full-map directory sharer vector is fixed-width");
+  caches_.reserve(machine.size());
+  controllers_.reserve(machine.size());
+  for (sim::ProcId p = 0; p < machine.size(); ++p) {
+    caches_.emplace_back(cache_params);
+    controllers_.emplace_back(p);
+  }
+}
+
+auto CoherentMemory::controller(sim::ProcId p) {
+  return sim::suspend_to([this, p](std::coroutine_handle<> h) {
+    const sim::Cycles done = controllers_[p].acquire(
+        machine_->engine().now(), params_.controller_occupancy);
+    machine_->engine().at(done, [h] { h.resume(); });
+  });
+}
+
+auto CoherentMemory::transfer(sim::ProcId src, sim::ProcId dst,
+                              unsigned words) {
+  return sim::suspend_to([this, src, dst, words](std::coroutine_handle<> h) {
+    network_->send(src, dst, words, net::Traffic::kCoherence,
+                   [h] { h.resume(); });
+  });
+}
+
+sim::Task<> CoherentMemory::maybe_trap(sim::ProcId home,
+                                       std::size_t sharers) {
+  if (params_.hw_sharer_pointers == 0 ||
+      sharers <= params_.hw_sharer_pointers) {
+    co_return;
+  }
+  // The overflowed sharer set lives in software: the home CPU (not the
+  // memory controller) runs the LimitLESS extension handler.
+  ++stats_.limitless_traps;
+  co_await machine_->compute(home, params_.limitless_trap);
+}
+
+sim::Task<> CoherentMemory::read(sim::ProcId p, Addr a, unsigned bytes) {
+  const Line first = line_of(a);
+  const Line last = line_of(a + (bytes == 0 ? 0 : bytes - 1));
+  for (Line l = first; l <= last; ++l) co_await acquire(p, l, false);
+}
+
+sim::Task<> CoherentMemory::write(sim::ProcId p, Addr a, unsigned bytes) {
+  const Line first = line_of(a);
+  const Line last = line_of(a + (bytes == 0 ? 0 : bytes - 1));
+  for (Line l = first; l <= last; ++l) co_await acquire(p, l, true);
+}
+
+sim::Task<> CoherentMemory::acquire(sim::ProcId p, Line line, bool exclusive) {
+  Cache& c = caches_[p];
+  {
+    const LineState st = c.lookup(line);
+    if (st == LineState::kModified ||
+        (!exclusive && st == LineState::kShared)) {
+      // Cache hit: the (1-2 cycle) hit latency is folded into the user-code
+      // cycle charges, as instruction timing is in Proteus.
+      exclusive ? ++stats_.write_hits : ++stats_.read_hits;
+      c.touch(line);
+      co_return;
+    }
+    if (exclusive) {
+      ++stats_.write_misses;
+      if (st == LineState::kShared) ++stats_.upgrades;
+    } else {
+      ++stats_.read_misses;
+    }
+  }
+
+  for (;;) {
+    const LineState st = c.lookup(line);
+    if (st == LineState::kModified ||
+        (!exclusive && st == LineState::kShared)) {
+      // Satisfied by a transaction we merged with.
+      c.touch(line);
+      co_return;
+    }
+
+    // Merge with any in-flight transaction for this line (MSHR): wait for
+    // it, then re-evaluate (a read in flight does not satisfy a write; the
+    // loop issues the upgrade afterwards).
+    const std::uint64_t key = mshr_key(p, line);
+    if (auto it = mshrs_.find(key); it != mshrs_.end()) {
+      ++stats_.mshr_merges;
+      Mshr* m = &it->second;
+      co_await sim::suspend_to(
+          [m](std::coroutine_handle<> h) { m->waiters.push_back(h); });
+      continue;
+    }
+    mshrs_.emplace(key, Mshr{exclusive, {}});
+
+    const sim::ProcId home = home_of_line(line);
+    sim::OneShot<sim::Unit> done;
+    network_->send(p, home, params_.words_request, net::Traffic::kCoherence,
+                   [this, p, line, exclusive, done] {
+                     on_request(p, line, exclusive, done);
+                   });
+    co_await done.get();
+
+    // Install (re-check defensively).
+    const LineState now_st = c.lookup(line);
+    if (now_st == LineState::kInvalid) {
+      auto victim = c.install(
+          line, exclusive ? LineState::kModified : LineState::kShared);
+      if (victim) handle_eviction(p, *victim);
+    } else if (exclusive && now_st == LineState::kShared) {
+      c.set_state(line, LineState::kModified);
+      c.touch(line);
+    } else {
+      c.touch(line);
+    }
+
+    // Retire the MSHR and wake everyone who merged with us.
+    auto node = mshrs_.extract(key);
+    for (auto h : node.mapped().waiters) h.resume();
+    co_return;
+  }
+}
+
+void CoherentMemory::prefetch(sim::ProcId p, Addr a, unsigned bytes) {
+  if (bytes == 0) return;
+  const Line first = line_of(a);
+  const Line last = line_of(a + bytes - 1);
+  for (Line l = first; l <= last; ++l) {
+    if (caches_[p].lookup(l) != LineState::kInvalid) continue;
+    if (mshrs_.contains(mshr_key(p, l))) continue;  // already in flight
+    ++stats_.prefetches;
+    // Fire-and-forget read acquisition; demand accesses merge via the MSHR.
+    sim::detach(acquire(p, l, /*exclusive=*/false));
+  }
+}
+
+void CoherentMemory::on_request(sim::ProcId p, Line line, bool exclusive,
+                                sim::OneShot<sim::Unit> done) {
+  Dir& d = dirs_[line];
+  d.queue.push_back(Waiter{p, exclusive, done});
+  if (!d.busy) {
+    d.busy = true;
+    sim::detach(serve_front(line));
+  }
+}
+
+sim::Task<> CoherentMemory::serve_front(Line line) {
+  const sim::ProcId home = home_of_line(line);
+  for (;;) {
+    Dir& d = dirs_[line];
+    assert(d.busy && !d.queue.empty());
+    const Waiter w = d.queue.front();
+
+    co_await controller(home);  // home handles the request message
+
+    if (w.exclusive) {
+      if (d.modified && d.owner != w.requester) {
+        // Fetch-invalidate the dirty owner; data returns home first.
+        ++stats_.fetches;
+        const sim::ProcId owner = d.owner;
+        co_await transfer(home, owner, params_.words_request);
+        co_await controller(owner);
+        caches_[owner].set_state(line, LineState::kInvalid);
+        co_await transfer(owner, home, params_.words_data);
+        co_await controller(home);
+      } else if (!d.modified) {
+        // Invalidate every other sharer and gather acks.
+        SharerSet to_inval = d.sharers;
+        to_inval.reset(w.requester);
+        const int n = static_cast<int>(to_inval.count());
+        if (n > 0) {
+          // Invalidating an overflowed sharer set walks the software
+          // directory extension.
+          co_await maybe_trap(home, d.sharers.count());
+          stats_.invalidations += static_cast<std::uint64_t>(n);
+          auto remaining = std::make_shared<int>(n);
+          sim::OneShot<sim::Unit> all_acked;
+          for (sim::ProcId s = 0; s < machine_->size(); ++s) {
+            if (!to_inval.test(s)) continue;
+            network_->send(
+                home, s, params_.words_request, net::Traffic::kCoherence,
+                [this, s, line, home, remaining, all_acked] {
+                  // At the sharer: controller handles INV, then acks. A
+                  // stale sharer (silent eviction) acks without effect.
+                  const sim::Cycles fin = controllers_[s].acquire(
+                      machine_->engine().now(), params_.controller_occupancy);
+                  machine_->engine().at(fin, [this, s, line, home, remaining,
+                                              all_acked] {
+                    caches_[s].set_state(line, LineState::kInvalid);
+                    network_->send(s, home, params_.words_request,
+                                   net::Traffic::kCoherence,
+                                   [remaining, all_acked] {
+                                     if (--*remaining == 0)
+                                       all_acked.set(sim::Unit{});
+                                   });
+                  });
+                });
+          }
+          co_await all_acked.get();
+          co_await controller(home);  // process the final ack
+        }
+      }
+      // Grant: full line unless the requester held a Shared copy (upgrade).
+      const bool upgrade = d.sharers.test(w.requester) && !d.modified;
+      d.modified = true;
+      d.owner = w.requester;
+      d.sharers.reset();
+      d.sharers.set(w.requester);
+      co_await transfer(home, w.requester,
+                        upgrade ? params_.words_request : params_.words_data);
+    } else {
+      if (d.modified && d.owner != w.requester) {
+        // Intervene at the dirty owner: downgrade M->S, write data back.
+        ++stats_.fetches;
+        const sim::ProcId owner = d.owner;
+        co_await transfer(home, owner, params_.words_request);
+        co_await controller(owner);
+        caches_[owner].set_state(line, LineState::kShared);
+        co_await transfer(owner, home, params_.words_data);
+        co_await controller(home);
+        d.modified = false;
+        d.owner = sim::kNoProc;
+        d.sharers.reset();
+        d.sharers.set(owner);
+      } else if (d.modified) {
+        // Owner re-reading its own dirty line should have been a hit, but a
+        // race with eviction can surface here; treat as a plain grant.
+        d.modified = false;
+        d.owner = sim::kNoProc;
+      }
+      d.sharers.set(w.requester);
+      // Adding a sharer beyond the hardware pointer set traps to software.
+      co_await maybe_trap(home, d.sharers.count());
+      co_await transfer(home, w.requester, params_.words_data);
+    }
+
+    w.done.set(sim::Unit{});
+
+    d.queue.pop_front();
+    if (d.queue.empty()) {
+      d.busy = false;
+      co_return;
+    }
+    // Loop to serve the next queued transaction on this line.
+  }
+}
+
+void CoherentMemory::handle_eviction(sim::ProcId p, const Eviction& victim) {
+  ++stats_.evictions;
+  if (!victim.dirty) return;  // clean lines drop silently
+  ++stats_.writebacks;
+  const Line line = victim.line;
+  const sim::ProcId home = home_of_line(line);
+  network_->send(p, home, params_.words_data, net::Traffic::kCoherence,
+                 [this, p, line, home] {
+                   const sim::Cycles fin = controllers_[home].acquire(
+                       machine_->engine().now(), params_.controller_occupancy);
+                   machine_->engine().at(fin, [this, p, line] {
+                     Dir& d = dirs_[line];
+                     if (d.modified && d.owner == p) {
+                       d.modified = false;
+                       d.owner = sim::kNoProc;
+                       d.sharers.reset();
+                     }
+                   });
+                 });
+}
+
+CoherentMemory::DirSnapshot CoherentMemory::dir_snapshot(Line line) const {
+  auto it = dirs_.find(line);
+  if (it == dirs_.end()) return {};
+  return DirSnapshot{it->second.modified, it->second.owner, it->second.sharers,
+                     it->second.busy};
+}
+
+}  // namespace cm::shmem

@@ -1,0 +1,69 @@
+#include "shmem/sync.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cm::shmem {
+
+sim::Task<> SpinLock::acquire(sim::ProcId p) {
+  for (;;) {
+    // Test: read the flag (first probe misses; spinning probes hit).
+    co_await mem_->read(p, addr_, 4);
+    if (!held_) {
+      // Test-and-set: needs the line exclusive.
+      co_await mem_->write(p, addr_, 4);
+      if (!held_) {
+        held_ = true;
+        holder_ = p;
+        co_return;
+      }
+      // Lost the race to another processor's RMW; back to spinning.
+    }
+    // Wait for the holder's releasing write to invalidate our copy.
+    co_await sim::suspend_to(
+        [this](std::coroutine_handle<> h) { spinners_.push_back(h); });
+  }
+}
+
+sim::Task<> SpinLock::release(sim::ProcId p) {
+  assert(held_ && holder_ == p);
+  held_ = false;
+  holder_ = sim::kNoProc;
+  // The releasing store invalidates every spinner's Shared copy (the
+  // coherence traffic of a contended handoff).
+  co_await mem_->write(p, addr_, 4);
+  auto woken = std::exchange(spinners_, {});
+  for (auto h : woken) h.resume();
+}
+
+sim::Task<std::uint64_t> SeqLock::begin_read(sim::ProcId p) {
+  for (;;) {
+    co_await mem_->read(p, addr_, 8);
+    if ((version_ & 1) == 0) co_return version_;
+    // A write is in progress; wait for it to finish (its end_write store
+    // invalidates our cached copy of the version line).
+    co_await sim::suspend_to(
+        [this](std::coroutine_handle<> h) { waiters_.push_back(h); });
+  }
+}
+
+sim::Task<bool> SeqLock::validate(sim::ProcId p, std::uint64_t v) {
+  co_await mem_->read(p, addr_, 8);
+  co_return version_ == v;
+}
+
+sim::Task<> SeqLock::begin_write(sim::ProcId p) {
+  assert((version_ & 1) == 0 && "concurrent writers; guard with a SpinLock");
+  ++version_;
+  co_await mem_->write(p, addr_, 8);
+}
+
+sim::Task<> SeqLock::end_write(sim::ProcId p) {
+  assert((version_ & 1) == 1);
+  ++version_;
+  co_await mem_->write(p, addr_, 8);
+  auto woken = std::exchange(waiters_, {});
+  for (auto h : woken) h.resume();
+}
+
+}  // namespace cm::shmem

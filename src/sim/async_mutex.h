@@ -1,0 +1,59 @@
+// FIFO mutex for simulated threads. Used for node-level locking in the
+// message-passing (RPC / computation-migration) runtime, where a lock
+// co-locates with its object: acquiring it is a local operation at the
+// object's home, so the simulation cost is just blocking (the coherence-level
+// SpinLock in shmem/sync.h is its shared-memory counterpart and does generate
+// traffic).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+namespace cm::sim {
+
+class AsyncMutex {
+ public:
+  AsyncMutex() = default;
+  AsyncMutex(const AsyncMutex&) = delete;
+  AsyncMutex& operator=(const AsyncMutex&) = delete;
+
+  /// Awaitable acquire; suspends FIFO when contended.
+  [[nodiscard]] auto lock() {
+    struct Awaiter {
+      AsyncMutex* m;
+      bool await_ready() noexcept {
+        if (!m->held_) {
+          m->held_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m->waiters_.push_back(h); }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Release; if a waiter exists, ownership transfers to it and it resumes
+  /// immediately (same simulated instant).
+  void unlock() {
+    assert(held_);
+    if (waiters_.empty()) {
+      held_ = false;
+      return;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    h.resume();  // held_ stays true: handed off
+  }
+
+  [[nodiscard]] bool held() const noexcept { return held_; }
+  [[nodiscard]] std::size_t waiters() const noexcept { return waiters_.size(); }
+
+ private:
+  bool held_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace cm::sim

@@ -1,0 +1,35 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace cm::sim {
+
+void Engine::at(Cycles t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Engine::step() {
+  // priority_queue::top() is const; move out via const_cast-free copy of the
+  // wrapper. We pop first so the handler may schedule new events freely.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) step();
+}
+
+void Engine::run_until(Cycles t) {
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Engine::run_bounded(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) step();
+}
+
+}  // namespace cm::sim

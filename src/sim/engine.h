@@ -1,0 +1,72 @@
+// Discrete-event simulation engine: a monotone cycle clock plus an event
+// queue. Deterministic: events at equal timestamps run in scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cm::sim {
+
+/// The heart of the Proteus-style simulator. Client code schedules closures
+/// at absolute or relative cycle times; `run()` drains the queue in
+/// (time, insertion-sequence) order, advancing the clock as it goes.
+///
+/// The engine is single-threaded on the host: all "parallelism" of the
+/// simulated machine is expressed through event interleavings, which makes
+/// every experiment bit-for-bit reproducible for a fixed seed.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in cycles.
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (clamped to `now()` if in the
+  /// past, which can only arise from zero-latency round-trips).
+  void at(Cycles t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `d` cycles from now.
+  void after(Cycles d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run events with timestamp <= `t`; afterwards `now() == t` if the queue
+  /// emptied earlier, else `now()` is the last executed event's time.
+  void run_until(Cycles t);
+
+  /// Run at most `max_events` further events (safety valve for tests).
+  void run_bounded(std::size_t max_events);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace cm::sim

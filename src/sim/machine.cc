@@ -1,0 +1,26 @@
+#include "sim/machine.h"
+
+namespace cm::sim {
+
+Machine::Machine(Engine& engine, ProcId nprocs) : engine_(&engine) {
+  procs_.reserve(nprocs);
+  for (ProcId p = 0; p < nprocs; ++p) procs_.emplace_back(p);
+}
+
+void Machine::exec(ProcId p, Cycles cost, std::function<void()> fn) {
+  const Cycles done = proc(p).acquire(engine_->now(), cost);
+  engine_->at(done, std::move(fn));
+}
+
+void Machine::resume_on(ProcId p, Cycles cost, std::coroutine_handle<> h) {
+  const Cycles done = proc(p).acquire(engine_->now(), cost);
+  engine_->at(done, [h] { h.resume(); });
+}
+
+Cycles Machine::total_busy() const {
+  Cycles sum = 0;
+  for (const auto& pr : procs_) sum += pr.busy_cycles();
+  return sum;
+}
+
+}  // namespace cm::sim

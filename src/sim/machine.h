@@ -1,0 +1,59 @@
+// The simulated multiprocessor: P processors sharing one event engine.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/processor.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace cm::sim {
+
+class Machine {
+ public:
+  Machine(Engine& engine, ProcId nprocs);
+
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] ProcId size() const noexcept {
+    return static_cast<ProcId>(procs_.size());
+  }
+  [[nodiscard]] Processor& proc(ProcId p) { return procs_.at(p); }
+  [[nodiscard]] const Processor& proc(ProcId p) const { return procs_.at(p); }
+
+  /// Run `fn` on processor `p`: the CPU is occupied for `cost` cycles
+  /// starting when it is free, and `fn` runs at the completion time.
+  void exec(ProcId p, Cycles cost, std::function<void()> fn);
+
+  /// Resume a suspended coroutine on processor `p`, charging `cost` cycles
+  /// of CPU first (e.g. scheduler/dispatch overhead).
+  void resume_on(ProcId p, Cycles cost, std::coroutine_handle<> h);
+
+  /// Awaitable: occupy processor `p` for `cost` busy cycles.
+  [[nodiscard]] auto compute(ProcId p, Cycles cost) {
+    return suspend_to([this, p, cost](std::coroutine_handle<> h) {
+      resume_on(p, cost, h);
+    });
+  }
+
+  /// Awaitable: wall-clock delay of `d` cycles that does NOT occupy the CPU
+  /// (e.g. waiting on a hardware resource, backoff between spin probes).
+  [[nodiscard]] auto sleep(Cycles d) {
+    return suspend_to([this, d](std::coroutine_handle<> h) {
+      engine_->after(d, [h] { h.resume(); });
+    });
+  }
+
+  /// Sum of busy cycles over all processors.
+  [[nodiscard]] Cycles total_busy() const;
+
+ private:
+  Engine* engine_;
+  std::vector<Processor> procs_;
+};
+
+}  // namespace cm::sim

@@ -1,0 +1,62 @@
+// One-shot synchronisation between simulated threads: a value set exactly
+// once, awaited at most once. Used for RPC replies and migrated-activation
+// return values. Timing is the caller's responsibility: the fulfilling side
+// runs inside an engine event that already models delivery time, and the
+// awaiting side charges any wake-up CPU cost after it resumes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/task.h"
+
+namespace cm::sim {
+
+/// Unit type for OneShot<void>-like uses.
+struct Unit {};
+
+template <class T>
+class OneShot {
+ public:
+  OneShot() : state_(std::make_shared<State>()) {}
+
+  /// Fulfil the one-shot. If a waiter is suspended on it, the waiter resumes
+  /// immediately (same simulated instant).
+  void set(T value) const {
+    State& st = *state_;
+    assert(!st.value.has_value() && "OneShot fulfilled twice");
+    st.value.emplace(std::move(value));
+    if (st.waiter) {
+      auto w = std::exchange(st.waiter, nullptr);
+      w.resume();
+    }
+  }
+
+  [[nodiscard]] bool ready() const noexcept { return state_->value.has_value(); }
+
+  /// Awaitable: suspend until `set` is called (no suspension if already set).
+  [[nodiscard]] auto get() const {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const noexcept { return st->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!st->waiter && "OneShot awaited twice");
+        st->waiter = h;
+      }
+      T await_resume() { return std::move(*st->value); }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace cm::sim

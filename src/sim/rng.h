@@ -1,0 +1,75 @@
+// Deterministic pseudo-random numbers for workloads and data placement.
+// xoshiro256** seeded via SplitMix64 — fast, reproducible across platforms
+// (unlike std::default_random_engine / std::uniform_int_distribution, whose
+// outputs are implementation-defined).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cm::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) via Lemire's multiply-shift (bound > 0).
+  std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply keeps the distribution unbiased enough for workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <class It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cm::sim

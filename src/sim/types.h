@@ -1,0 +1,22 @@
+// Basic identifier and quantity types shared by every simulator module.
+#pragma once
+
+#include <cstdint>
+
+namespace cm::sim {
+
+/// Simulated processor cycles. All time in the simulator is measured in
+/// cycles of the (uniform) processor clock, as in Proteus.
+using Cycles = std::uint64_t;
+
+/// Processor identifier; processors are numbered 0..P-1.
+using ProcId = std::uint32_t;
+
+/// Machine word (32-bit in the simulated RISC machine). Message sizes and
+/// bandwidth are measured in words, matching the paper's "words sent".
+using Word = std::uint32_t;
+
+/// Invalid/unset processor id sentinel.
+inline constexpr ProcId kNoProc = static_cast<ProcId>(-1);
+
+}  // namespace cm::sim

@@ -1,0 +1,105 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace cm::core {
+namespace {
+
+constexpr ObjectId kObj = 7;
+
+TEST(AdaptiveChooser, DefaultsToMigrationWithoutHistory) {
+  AdaptiveChooser c;
+  EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kMigration);
+  c.record(kObj, 1, true);  // too little history to decide
+  EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kMigration);
+}
+
+TEST(AdaptiveChooser, ReadMostlyDataGoesToSharedMemory) {
+  AdaptiveChooser c;
+  // Many processors reading, hardly ever writing: replication territory.
+  for (int i = 0; i < 100; ++i) {
+    c.record(kObj, static_cast<sim::ProcId>(i % 8), /*write=*/i % 50 == 0);
+  }
+  EXPECT_LT(c.write_ratio(kObj), 0.15);
+  EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kSharedMemory);
+}
+
+TEST(AdaptiveChooser, DominantAccessorAttractsTheObject) {
+  AdaptiveChooser c;
+  // One processor does ~95% of the (write-heavy) accessing.
+  for (int i = 0; i < 100; ++i) {
+    c.record(kObj, i % 20 == 0 ? 3u : 5u, /*write=*/true);
+  }
+  EXPECT_GT(c.dominant_share(kObj), 0.8);
+  EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kObjectMigration);
+}
+
+TEST(AdaptiveChooser, HugeObjectsAreNotAttracted) {
+  AdaptiveChooser c;
+  for (int i = 0; i < 100; ++i) {
+    c.record(kObj, i % 20 == 0 ? 3u : 5u, true);
+  }
+  // Same dominant accessor, but the object is enormous relative to a frame.
+  EXPECT_NE(c.recommend(kObj, 8, 4096), Mechanism::kObjectMigration);
+}
+
+TEST(AdaptiveChooser, WriteSharedTraversalsMigrateComputation) {
+  AdaptiveChooser c;
+  // Every access writes; accessors take turns in short runs (like
+  // balancers); frames are small.
+  for (int i = 0; i < 120; ++i) {
+    c.record(kObj, static_cast<sim::ProcId>((i / 2) % 6), true);
+  }
+  EXPECT_NEAR(c.avg_run_length(kObj), 2.0, 0.1);
+  EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kMigration);
+}
+
+TEST(AdaptiveChooser, HugeFramesFallBackToRpc) {
+  AdaptiveChooser c;
+  for (int i = 0; i < 120; ++i) {
+    c.record(kObj, static_cast<sim::ProcId>(i % 6), true);  // run length 1
+  }
+  EXPECT_EQ(c.recommend(kObj, /*frame=*/256, /*object=*/16), Mechanism::kRpc);
+}
+
+TEST(AdaptiveChooser, ProfileAccountingIsExact) {
+  AdaptiveChooser c;
+  c.record(kObj, 1, true);
+  c.record(kObj, 1, false);
+  c.record(kObj, 2, false);
+  c.record(kObj, 1, false);
+  EXPECT_EQ(c.accesses(kObj), 4u);
+  EXPECT_DOUBLE_EQ(c.write_ratio(kObj), 0.25);
+  EXPECT_DOUBLE_EQ(c.avg_run_length(kObj), 4.0 / 3.0);  // runs: 1,1 | 2 | 1
+  EXPECT_DOUBLE_EQ(c.dominant_share(kObj), 0.75);
+}
+
+TEST(AdaptiveChooser, ObjectsAreProfiledIndependently) {
+  AdaptiveChooser c;
+  for (int i = 0; i < 50; ++i) {
+    c.record(1, static_cast<sim::ProcId>(i % 4), false);  // read-mostly
+    c.record(2, 9, true);                                 // single writer
+  }
+  EXPECT_EQ(c.recommend(1, 8, 16), Mechanism::kSharedMemory);
+  EXPECT_EQ(c.recommend(2, 8, 16), Mechanism::kObjectMigration);
+}
+
+// Property: the recommendation is always one of the five mechanisms and is
+// stable under repeated queries (no hidden state mutation in recommend).
+TEST(AdaptiveChooser, RecommendIsPureAndTotal) {
+  AdaptiveChooser c;
+  sim::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    c.record(static_cast<ObjectId>(rng.below(10)),
+             static_cast<sim::ProcId>(rng.below(6)), rng.chance(0.4));
+  }
+  for (ObjectId o = 0; o < 10; ++o) {
+    const Mechanism first = c.recommend(o, 8, 32);
+    for (int q = 0; q < 5; ++q) EXPECT_EQ(c.recommend(o, 8, 32), first);
+  }
+}
+
+}  // namespace
+}  // namespace cm::core

@@ -1,0 +1,85 @@
+#include "sim/async_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/task.h"
+
+namespace cm::sim {
+namespace {
+
+Task<> hold(AsyncMutex* m, Machine* mach, ProcId p, Cycles work,
+            std::vector<int>* order, int id, int* inside, int* max_inside) {
+  co_await m->lock();
+  ++*inside;
+  *max_inside = std::max(*max_inside, *inside);
+  order->push_back(id);
+  co_await mach->compute(p, work);
+  --*inside;
+  m->unlock();
+}
+
+TEST(AsyncMutex, UncontendedLockIsImmediate) {
+  AsyncMutex m;
+  EXPECT_FALSE(m.held());
+  Engine eng;
+  Machine mach(eng, 1);
+  std::vector<int> order;
+  int inside = 0, max_inside = 0;
+  detach(hold(&m, &mach, 0, 5, &order, 1, &inside, &max_inside));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_FALSE(m.held());
+}
+
+TEST(AsyncMutex, MutualExclusionAndFifoOrder) {
+  AsyncMutex m;
+  Engine eng;
+  Machine mach(eng, 8);
+  std::vector<int> order;
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 8; ++i) {
+    detach(hold(&m, &mach, static_cast<ProcId>(i), 10, &order, i, &inside,
+                &max_inside));
+  }
+  eng.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));  // FIFO
+  EXPECT_FALSE(m.held());
+  EXPECT_EQ(m.waiters(), 0u);
+}
+
+TEST(AsyncMutex, HandoffKeepsHeld) {
+  AsyncMutex m;
+  Engine eng;
+  Machine mach(eng, 2);
+  std::vector<int> order;
+  int inside = 0, max_inside = 0;
+  detach(hold(&m, &mach, 0, 100, &order, 0, &inside, &max_inside));
+  detach(hold(&m, &mach, 1, 100, &order, 1, &inside, &max_inside));
+  EXPECT_TRUE(m.held());
+  EXPECT_EQ(m.waiters(), 1u);
+  eng.run_until(150);
+  EXPECT_TRUE(m.held());  // handed to the second holder at t=100
+  eng.run();
+  EXPECT_FALSE(m.held());
+}
+
+TEST(AsyncMutex, ReacquireAfterRelease) {
+  AsyncMutex m;
+  Engine eng;
+  Machine mach(eng, 1);
+  std::vector<int> order;
+  int inside = 0, max_inside = 0;
+  for (int round = 0; round < 3; ++round) {
+    detach(hold(&m, &mach, 0, 1, &order, round, &inside, &max_inside));
+    eng.run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace cm::sim

@@ -1,0 +1,490 @@
+#include "apps/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/constant_net.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace cm::apps {
+namespace {
+
+using core::Ctx;
+using core::Mechanism;
+using sim::ProcId;
+using sim::Task;
+
+struct World {
+  sim::Engine eng;
+  sim::Machine machine;
+  net::ConstantNetwork net;
+  shmem::CoherentMemory mem;
+  core::ObjectSpace objects;
+  core::Runtime rt;
+  DistributedBTree bt;
+
+  explicit World(DistributedBTree::Params p, ProcId nprocs = 16)
+      : machine(eng, nprocs),
+        net(eng),
+        mem(machine, net),
+        rt(machine, net, objects, core::CostModel::software()),
+        bt(rt, &mem, p) {}
+};
+
+DistributedBTree::Params small_params(unsigned max_entries = 4,
+                                      bool repl = false) {
+  DistributedBTree::Params p;
+  p.max_entries = max_entries;
+  p.node_procs = 8;
+  p.seed = 42;
+  p.replication = repl;
+  return p;
+}
+
+std::vector<std::uint64_t> make_keys(std::size_t n, std::uint64_t stride = 2) {
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = 1 + i * stride;
+  return keys;
+}
+
+Task<> do_lookup(World* w, Mechanism mech, ProcId home, std::uint64_t key,
+                 bool* found, std::uint64_t* val = nullptr) {
+  Ctx ctx{&w->rt, home};
+  *found = co_await w->bt.lookup(ctx, mech, key, val);
+}
+
+Task<> do_insert(World* w, Mechanism mech, ProcId home, std::uint64_t key,
+                 std::uint64_t value, bool* fresh = nullptr) {
+  Ctx ctx{&w->rt, home};
+  const bool f = co_await w->bt.insert(ctx, mech, key, value);
+  if (fresh != nullptr) *fresh = f;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / host-level logic
+// ---------------------------------------------------------------------------
+
+TEST(BTreeBuild, EmptyTreeIsAValidLeaf) {
+  World w(small_params());
+  EXPECT_EQ(w.bt.height(), 1u);
+  EXPECT_EQ(w.bt.num_keys(), 0u);
+  EXPECT_TRUE(w.bt.check_invariants());
+}
+
+TEST(BTreeBuild, BulkLoadPreservesKeysAndInvariants) {
+  World w(small_params());
+  const auto keys = make_keys(100);
+  w.bt.bulk_load(keys);
+  std::string why;
+  EXPECT_TRUE(w.bt.check_invariants(&why)) << why;
+  EXPECT_EQ(w.bt.keys_host(), keys);
+  EXPECT_GT(w.bt.height(), 1u);
+  for (const auto k : keys) EXPECT_TRUE(w.bt.contains_host(k));
+  EXPECT_FALSE(w.bt.contains_host(0));
+  EXPECT_FALSE(w.bt.contains_host(keys.back() + 1));
+}
+
+TEST(BTreeBuild, PaperGeometryRootHasFewChildren) {
+  // 10,000 keys, branching <= 100, 2/3 fill: the paper observes a root with
+  // three children ("the root node has only three children").
+  DistributedBTree::Params p;
+  p.max_entries = 100;
+  p.node_procs = 8;
+  World w(p);
+  std::vector<std::uint64_t> keys(10'000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i + 2;
+  w.bt.bulk_load(keys);
+  EXPECT_TRUE(w.bt.check_invariants());
+  EXPECT_EQ(w.bt.height(), 3u);
+  EXPECT_EQ(w.bt.root_children(), 3u);
+}
+
+TEST(BTreeBuild, SmallBranchingGivesDeeperTreeWithWiderRoot) {
+  // The §4.2 ablation: branching <= 10 yields a root with more children.
+  DistributedBTree::Params p;
+  p.max_entries = 10;
+  p.node_procs = 8;
+  World w(p);
+  std::vector<std::uint64_t> keys(10'000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i + 2;
+  w.bt.bulk_load(keys);
+  EXPECT_TRUE(w.bt.check_invariants());
+  EXPECT_GT(w.bt.height(), 3u);
+  EXPECT_GE(w.bt.root_children(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated operations, single-threaded
+// ---------------------------------------------------------------------------
+
+class BTreeMechanism : public ::testing::TestWithParam<Mechanism> {};
+
+TEST_P(BTreeMechanism, LookupAgreesWithOracle) {
+  World w(small_params());
+  w.bt.bulk_load(make_keys(60));
+  for (std::uint64_t k = 0; k < 130; ++k) {
+    bool found = false;
+    std::uint64_t val = 0;
+    sim::detach(do_lookup(&w, GetParam(), 12, k, &found, &val));
+    w.eng.run();
+    EXPECT_EQ(found, w.bt.contains_host(k)) << "key " << k;
+    if (found) {
+      EXPECT_EQ(val, k);
+    }
+  }
+}
+
+TEST_P(BTreeMechanism, InsertGrowsTreeThroughSplits) {
+  World w(small_params(4));
+  std::set<std::uint64_t> oracle;
+  sim::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = rng.below(10'000);
+    bool fresh = false;
+    sim::detach(do_insert(&w, GetParam(), 12, k, k, &fresh));
+    w.eng.run();
+    EXPECT_EQ(fresh, oracle.insert(k).second);
+  }
+  std::string why;
+  EXPECT_TRUE(w.bt.check_invariants(&why)) << why;
+  const auto keys = w.bt.keys_host();
+  EXPECT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+  EXPECT_GT(w.bt.height(), 2u);  // fanout 4 + 300 keys forces root splits
+}
+
+TEST_P(BTreeMechanism, AscendingInsertsStressRightmostPath) {
+  World w(small_params(4));
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    sim::detach(do_insert(&w, GetParam(), 9, k * 10, k));
+    w.eng.run();
+  }
+  EXPECT_TRUE(w.bt.check_invariants());
+  EXPECT_EQ(w.bt.num_keys(), 200u);
+}
+
+TEST_P(BTreeMechanism, DuplicateInsertOverwritesValue) {
+  World w(small_params());
+  w.bt.bulk_load(make_keys(20));
+  bool fresh = true;
+  sim::detach(do_insert(&w, GetParam(), 9, 5, 999, &fresh));
+  w.eng.run();
+  EXPECT_FALSE(fresh);
+  bool found = false;
+  std::uint64_t val = 0;
+  sim::detach(do_lookup(&w, GetParam(), 9, 5, &found, &val));
+  w.eng.run();
+  EXPECT_TRUE(found);
+  EXPECT_EQ(val, 999u);
+  EXPECT_EQ(w.bt.num_keys(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BTreeMechanism,
+                         ::testing::Values(Mechanism::kRpc,
+                                           Mechanism::kMigration,
+                                           Mechanism::kSharedMemory,
+                                           Mechanism::kObjectMigration,
+                                           Mechanism::kThreadMigration));
+
+Task<> do_remove(World* w, Mechanism mech, ProcId home, std::uint64_t key,
+                 bool* removed) {
+  Ctx ctx{&w->rt, home};
+  *removed = co_await w->bt.remove(ctx, mech, key);
+}
+
+TEST_P(BTreeMechanism, RemoveDeletesExactlyThePresentKeys) {
+  World w(small_params());
+  w.bt.bulk_load(make_keys(40));
+  bool r = false;
+  sim::detach(do_remove(&w, GetParam(), 12, 5, &r));  // present
+  w.eng.run();
+  EXPECT_TRUE(r);
+  sim::detach(do_remove(&w, GetParam(), 12, 5, &r));  // already gone
+  w.eng.run();
+  EXPECT_FALSE(r);
+  sim::detach(do_remove(&w, GetParam(), 12, 4, &r));  // never existed
+  w.eng.run();
+  EXPECT_FALSE(r);
+  EXPECT_EQ(w.bt.num_keys(), 39u);
+  EXPECT_FALSE(w.bt.contains_host(5));
+  EXPECT_TRUE(w.bt.check_invariants());
+}
+
+TEST_P(BTreeMechanism, InsertRemoveRoundTrip) {
+  World w(small_params(4));
+  std::set<std::uint64_t> oracle;
+  sim::Rng rng(21);
+  for (int i = 0; i < 250; ++i) {
+    const std::uint64_t k = 1 + rng.below(400);
+    if (rng.chance(0.6)) {
+      bool fresh = false;
+      sim::detach(do_insert(&w, GetParam(), 12, k, k, &fresh));
+      w.eng.run();
+      EXPECT_EQ(fresh, oracle.insert(k).second);
+    } else {
+      bool removed = false;
+      sim::detach(do_remove(&w, GetParam(), 12, k, &removed));
+      w.eng.run();
+      EXPECT_EQ(removed, oracle.erase(k) > 0);
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(w.bt.check_invariants(&why)) << why;
+  const auto keys = w.bt.keys_host();
+  EXPECT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+TEST(BTreeRemove, CanEmptyTheTree) {
+  World w(small_params(4));
+  const auto keys = make_keys(30);
+  w.bt.bulk_load(keys);
+  bool r = false;
+  for (const auto k : keys) {
+    sim::detach(do_remove(&w, Mechanism::kMigration, 12, k, &r));
+    w.eng.run();
+    EXPECT_TRUE(r);
+  }
+  EXPECT_EQ(w.bt.num_keys(), 0u);
+  EXPECT_TRUE(w.bt.check_invariants());
+  // The emptied tree still accepts new keys.
+  sim::detach(do_insert(&w, Mechanism::kMigration, 12, 7, 7));
+  w.eng.run();
+  EXPECT_TRUE(w.bt.contains_host(7));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency properties
+// ---------------------------------------------------------------------------
+
+Task<> op_stream(World* w, Mechanism mech, ProcId home, std::uint64_t seed,
+                 int nops, std::uint64_t key_space,
+                 std::set<std::uint64_t>* inserted, int* bad_lookups) {
+  Ctx ctx{&w->rt, home};
+  sim::Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    const std::uint64_t key = 1 + rng.below(key_space);
+    if (rng.chance(0.5)) {
+      (void)co_await w->bt.insert(ctx, mech, key, key);
+      inserted->insert(key);
+    } else {
+      std::uint64_t val = 0;
+      const bool found = co_await w->bt.lookup(ctx, mech, key, &val);
+      if (found && val != key) ++*bad_lookups;
+    }
+  }
+}
+
+struct ConcurrencyCase {
+  Mechanism mech;
+  std::uint64_t seed;
+  bool replication;
+};
+
+class BTreeConcurrency : public ::testing::TestWithParam<ConcurrencyCase> {};
+
+TEST_P(BTreeConcurrency, RandomStreamsConvergeToOracle) {
+  const auto c = GetParam();
+  World w(small_params(4, c.replication));
+  const auto bulk = make_keys(40, 4);
+  w.bt.bulk_load(bulk);
+
+  constexpr int kThreads = 8;
+  std::set<std::uint64_t> inserted[kThreads];
+  int bad = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    sim::detach(op_stream(&w, c.mech, static_cast<ProcId>(8 + t),
+                          c.seed * 100 + t, 60, 500, &inserted[t], &bad));
+  }
+  w.eng.run();
+
+  EXPECT_EQ(bad, 0) << "lookup returned a value that was never stored";
+  std::string why;
+  ASSERT_TRUE(w.bt.check_invariants(&why)) << why;
+
+  std::set<std::uint64_t> oracle(bulk.begin(), bulk.end());
+  for (const auto& s : inserted) oracle.insert(s.begin(), s.end());
+  const auto keys = w.bt.keys_host();
+  ASSERT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BTreeConcurrency,
+    ::testing::Values(ConcurrencyCase{Mechanism::kRpc, 1, false},
+                      ConcurrencyCase{Mechanism::kRpc, 2, true},
+                      ConcurrencyCase{Mechanism::kMigration, 3, false},
+                      ConcurrencyCase{Mechanism::kMigration, 4, true},
+                      ConcurrencyCase{Mechanism::kMigration, 5, true},
+                      ConcurrencyCase{Mechanism::kSharedMemory, 6, false},
+                      ConcurrencyCase{Mechanism::kSharedMemory, 7, false},
+                      ConcurrencyCase{Mechanism::kRpc, 8, false},
+                      ConcurrencyCase{Mechanism::kMigration, 9, false},
+                      ConcurrencyCase{Mechanism::kObjectMigration, 10, false},
+                      ConcurrencyCase{Mechanism::kObjectMigration, 11, false},
+                      ConcurrencyCase{Mechanism::kThreadMigration, 12, false}));
+
+Task<> partition_stream(World* w, Mechanism mech, ProcId home, unsigned tid,
+                        unsigned nthreads, int nops,
+                        std::set<std::uint64_t>* oracle, int* errors) {
+  Ctx ctx{&w->rt, home};
+  sim::Rng rng(5000 + tid);
+  for (int i = 0; i < nops; ++i) {
+    // Each thread owns the keys congruent to tid (mod nthreads), so its
+    // private oracle stays exact under full concurrency.
+    const std::uint64_t key = 1 + tid + nthreads * rng.below(60);
+    if (rng.chance(0.55)) {
+      const bool fresh = co_await w->bt.insert(ctx, mech, key, key);
+      if (fresh != oracle->insert(key).second) ++*errors;
+    } else {
+      const bool removed = co_await w->bt.remove(ctx, mech, key);
+      if (removed != (oracle->erase(key) > 0)) ++*errors;
+    }
+  }
+}
+
+class BTreeConcurrentRemoves : public ::testing::TestWithParam<Mechanism> {};
+
+TEST_P(BTreeConcurrentRemoves, DisjointPartitionsStayExact) {
+  World w(small_params(4));
+  constexpr unsigned kThreads = 6;
+  std::set<std::uint64_t> oracle[kThreads];
+  int errors = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    sim::detach(partition_stream(&w, GetParam(),
+                                 static_cast<ProcId>(8 + t), t, kThreads,
+                                 80, &oracle[t], &errors));
+  }
+  w.eng.run();
+  EXPECT_EQ(errors, 0) << "insert/remove return values disagreed with the "
+                          "per-partition oracle";
+  std::string why;
+  ASSERT_TRUE(w.bt.check_invariants(&why)) << why;
+  std::set<std::uint64_t> all;
+  for (const auto& o : oracle) all.insert(o.begin(), o.end());
+  const auto keys = w.bt.keys_host();
+  EXPECT_EQ(keys.size(), all.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), all.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BTreeConcurrentRemoves,
+                         ::testing::Values(Mechanism::kRpc,
+                                           Mechanism::kMigration,
+                                           Mechanism::kSharedMemory));
+
+TEST(BTreeSemantics, MechanismsProduceIdenticalTrees) {
+  // The annotation must not change results (paper §3.1): the same seeded
+  // concurrent workload leaves the same key set under every mechanism.
+  auto final_keys = [](Mechanism mech) {
+    World w(small_params(4));
+    w.bt.bulk_load(make_keys(30, 3));
+    std::set<std::uint64_t> sink[4];
+    int bad = 0;
+    for (int t = 0; t < 4; ++t) {
+      sim::detach(op_stream(&w, mech, static_cast<ProcId>(8 + t), 77 + t, 40,
+                            300, &sink[t], &bad));
+    }
+    w.eng.run();
+    EXPECT_TRUE(w.bt.check_invariants());
+    return w.bt.keys_host();
+  };
+  const auto rpc = final_keys(Mechanism::kRpc);
+  const auto mig = final_keys(Mechanism::kMigration);
+  const auto sm = final_keys(Mechanism::kSharedMemory);
+  EXPECT_EQ(rpc, mig);
+  EXPECT_EQ(rpc, sm);
+}
+
+TEST(BTreeTraffic, MigrationSendsFewerMessagesThanRpc) {
+  auto messages = [](Mechanism mech) {
+    World w(small_params(8));
+    w.bt.bulk_load(make_keys(200));
+    bool found = false;
+    for (std::uint64_t k = 0; k < 40; ++k) {
+      sim::detach(do_lookup(&w, mech, 12, 1 + 2 * k, &found));
+      w.eng.run();
+    }
+    return w.net.stats().messages;
+  };
+  EXPECT_LT(messages(Mechanism::kMigration), messages(Mechanism::kRpc));
+}
+
+TEST(BTreeReplication, RootReplicaCutsRootTraffic) {
+  auto root_home_busy = [](bool repl) {
+    World w(small_params(8, repl));
+    w.bt.bulk_load(make_keys(200));
+    bool found = false;
+    for (std::uint64_t k = 0; k < 30; ++k) {
+      sim::detach(do_lookup(&w, Mechanism::kMigration, 12, 1 + 2 * k, &found));
+      w.eng.run();
+    }
+    return w.rt.stats().migrations;
+  };
+  // With the root replicated, descents skip the migration to the root.
+  EXPECT_LT(root_home_busy(true), root_home_busy(false));
+}
+
+TEST(BTreeReplication, RootSplitInvalidatesAndRebinds) {
+  World w(small_params(3, true));
+  // Grow from empty through several root splits under replication; the
+  // interleaved lookups populate replicas (reads use them; updates descend
+  // via the primary), which the root changes must then invalidate.
+  bool found = false;
+  for (std::uint64_t k = 1; k <= 60; ++k) {
+    sim::detach(do_insert(&w, Mechanism::kMigration, 9, k * 7, k));
+    w.eng.run();
+    sim::detach(do_lookup(&w, Mechanism::kMigration, 10 + (k % 4), k * 7,
+                          &found));
+    w.eng.run();
+    EXPECT_TRUE(found);
+  }
+  EXPECT_TRUE(w.bt.check_invariants());
+  EXPECT_GT(w.bt.height(), 2u);
+  EXPECT_GT(w.rt.stats().replica_invalidations, 0u);
+  // Lookups after the rebinds still work.
+  found = false;
+  sim::detach(do_lookup(&w, Mechanism::kMigration, 10, 7, &found));
+  w.eng.run();
+  EXPECT_TRUE(found);
+}
+
+TEST(BTreeDeterminism, FixedSeedsGiveIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    World w(small_params(4));
+    w.bt.bulk_load(make_keys(30));
+    std::set<std::uint64_t> sink[3];
+    int bad = 0;
+    for (int t = 0; t < 3; ++t) {
+      sim::detach(op_stream(&w, Mechanism::kMigration,
+                            static_cast<ProcId>(8 + t), seed + t, 30, 200,
+                            &sink[t], &bad));
+    }
+    w.eng.run();
+    return std::tuple{w.eng.now(), w.net.stats().words, w.bt.num_keys()};
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(BTreeSharedMemory, UpperLevelsCacheWell) {
+  // Read-only traversals replicate the root/internal lines in the
+  // requester's cache: a second identical lookup misses far less.
+  World w(small_params(16));
+  w.bt.bulk_load(make_keys(400));
+  bool found = false;
+  sim::detach(do_lookup(&w, Mechanism::kSharedMemory, 12, 101, &found));
+  w.eng.run();
+  const auto miss1 = w.mem.stats().misses();
+  sim::detach(do_lookup(&w, Mechanism::kSharedMemory, 12, 101, &found));
+  w.eng.run();
+  const auto miss2 = w.mem.stats().misses() - miss1;
+  EXPECT_LT(miss2, miss1 / 4);
+}
+
+}  // namespace
+}  // namespace cm::apps

@@ -1,0 +1,493 @@
+#include "shmem/coherent_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/constant_net.h"
+#include "shmem/addr.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace cm::shmem {
+namespace {
+
+using sim::Cycles;
+using sim::ProcId;
+using sim::Task;
+
+struct World {
+  sim::Engine eng;
+  sim::Machine machine;
+  net::ConstantNetwork net;
+  CoherentMemory mem;
+
+  explicit World(ProcId nprocs, CacheParams cp = {})
+      : machine(eng, nprocs), net(eng), mem(machine, net, cp) {}
+};
+
+Task<> do_read(CoherentMemory* mem, ProcId p, Addr a, unsigned bytes,
+               Cycles* done_at, sim::Engine* eng) {
+  co_await mem->read(p, a, bytes);
+  if (done_at) *done_at = eng->now();
+}
+
+Task<> do_write(CoherentMemory* mem, ProcId p, Addr a, unsigned bytes,
+                Cycles* done_at, sim::Engine* eng) {
+  co_await mem->write(p, a, bytes);
+  if (done_at) *done_at = eng->now();
+}
+
+TEST(Coherence, FirstReadMissesThenHits) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().read_misses, 1u);
+  EXPECT_EQ(w.mem.stats().read_hits, 0u);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().read_misses, 1u);
+  EXPECT_EQ(w.mem.stats().read_hits, 1u);
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kShared);
+}
+
+TEST(Coherence, ReadMissTakesTime) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  Cycles t = 0;
+  sim::detach(do_read(&w.mem, 0, a, 16, &t, &w.eng));
+  w.eng.run();
+  EXPECT_GT(t, 0u);  // request + controller + data reply
+}
+
+TEST(Coherence, TwoReadersShare) {
+  World w(4);
+  const Addr a = w.mem.alloc(2, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  sim::detach(do_read(&w.mem, 1, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kShared);
+  EXPECT_EQ(w.mem.cache(1).lookup(line_of(a)), LineState::kShared);
+  const auto d = w.mem.dir_snapshot(line_of(a));
+  EXPECT_FALSE(d.modified);
+  EXPECT_TRUE(d.sharers.test(0));
+  EXPECT_TRUE(d.sharers.test(1));
+}
+
+TEST(Coherence, WriteInvalidatesSharers) {
+  World w(4);
+  const Addr a = w.mem.alloc(2, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  sim::detach(do_read(&w.mem, 1, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  sim::detach(do_write(&w.mem, 3, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kInvalid);
+  EXPECT_EQ(w.mem.cache(1).lookup(line_of(a)), LineState::kInvalid);
+  EXPECT_EQ(w.mem.cache(3).lookup(line_of(a)), LineState::kModified);
+  EXPECT_EQ(w.mem.stats().invalidations, 2u);
+  const auto d = w.mem.dir_snapshot(line_of(a));
+  EXPECT_TRUE(d.modified);
+  EXPECT_EQ(d.owner, 3u);
+}
+
+TEST(Coherence, ReadOfDirtyLineFetchesFromOwner) {
+  World w(4);
+  const Addr a = w.mem.alloc(2, 16);
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kModified);
+  sim::detach(do_read(&w.mem, 1, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().fetches, 1u);
+  // Owner downgraded, both share now.
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kShared);
+  EXPECT_EQ(w.mem.cache(1).lookup(line_of(a)), LineState::kShared);
+  EXPECT_FALSE(w.mem.dir_snapshot(line_of(a)).modified);
+}
+
+TEST(Coherence, MigratoryWritesPassOwnership) {
+  World w(4);
+  const Addr a = w.mem.alloc(3, 16);
+  for (ProcId p = 0; p < 4; ++p) {
+    sim::detach(do_write(&w.mem, p, a, 16, nullptr, &w.eng));
+    w.eng.run();
+    EXPECT_EQ(w.mem.cache(p).lookup(line_of(a)), LineState::kModified);
+    for (ProcId q = 0; q < 4; ++q) {
+      if (q != p) {
+        EXPECT_EQ(w.mem.cache(q).lookup(line_of(a)), LineState::kInvalid);
+      }
+    }
+  }
+  // 3 ownership transfers from a dirty owner.
+  EXPECT_EQ(w.mem.stats().fetches, 3u);
+}
+
+TEST(Coherence, UpgradeCountsAndKeepsLine) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().upgrades, 1u);
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kModified);
+}
+
+TEST(Coherence, WriteHitWhenAlreadyModified) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  const auto words_before = w.net.stats().words;
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().write_hits, 1u);
+  EXPECT_EQ(w.net.stats().words, words_before);  // no traffic for a hit
+}
+
+TEST(Coherence, LocallyHomedMissProducesNoNetworkTraffic) {
+  World w(4);
+  const Addr a = w.mem.alloc(0, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().read_misses, 1u);
+  EXPECT_EQ(w.net.stats().messages, 0u);
+}
+
+TEST(Coherence, MultiLineAccessTouchesEachLine) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 160);  // 10 lines
+  sim::detach(do_read(&w.mem, 0, a, 160, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().read_misses, 10u);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.mem.cache(0).lookup(line_of(a) + i), LineState::kShared);
+  }
+}
+
+TEST(Coherence, AllTrafficIsClassifiedCoherence) {
+  World w(4);
+  const Addr a = w.mem.alloc(2, 16);
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_GT(w.net.stats().coherence_messages, 0u);
+  EXPECT_EQ(w.net.stats().runtime_messages, 0u);
+}
+
+TEST(Coherence, DirtyEvictionWritesBack) {
+  // Tiny cache: 2 lines, direct-mapped.
+  World w(2, CacheParams{.size_bytes = 32, .associativity = 1});
+  // Two addresses on home 1 that collide in proc 0's cache (same set):
+  // with 2 sets, lines two apart map to the same set.
+  const Addr a = w.mem.alloc(1, 16);
+  (void)w.mem.alloc(1, 16);  // spacer line
+  const Addr b = w.mem.alloc(1, 16);
+  ASSERT_EQ(line_of(a) % 2, line_of(b) % 2);  // same set by construction
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  sim::detach(do_write(&w.mem, 0, b, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().writebacks, 1u);
+  EXPECT_EQ(w.mem.stats().evictions, 1u);
+  // Directory forgot the evicted line's owner.
+  const auto d = w.mem.dir_snapshot(line_of(a));
+  EXPECT_FALSE(d.modified);
+}
+
+TEST(Coherence, RemoteDirtyReadSlowerThanCleanRead) {
+  World w1(4);
+  const Addr a1 = w1.mem.alloc(1, 16);
+  Cycles clean = 0;
+  sim::detach(do_read(&w1.mem, 0, a1, 16, &clean, &w1.eng));
+  w1.eng.run();
+
+  World w2(4);
+  const Addr a2 = w2.mem.alloc(1, 16);
+  sim::detach(do_write(&w2.mem, 2, a2, 16, nullptr, &w2.eng));
+  w2.eng.run();
+  const Cycles start = w2.eng.now();
+  Cycles dirty_done = 0;
+  sim::detach(do_read(&w2.mem, 0, a2, 16, &dirty_done, &w2.eng));
+  w2.eng.run();
+  EXPECT_GT(dirty_done - start, clean);  // 4-hop vs 2-hop
+}
+
+// ---------------------------------------------------------------------------
+// Property test: single-writer/multiple-reader invariant under a random
+// workload, checked at quiescent points.
+// ---------------------------------------------------------------------------
+
+struct RandomOp {
+  ProcId p;
+  Addr a;
+  bool write;
+};
+
+Task<> run_ops(CoherentMemory* mem, std::vector<RandomOp> ops) {
+  for (const auto& op : ops) {
+    if (op.write) {
+      co_await mem->write(op.p, op.a, 16);
+    } else {
+      co_await mem->read(op.p, op.a, 16);
+    }
+  }
+}
+
+class CoherenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoherenceProperty, SwmrInvariantHolds) {
+  constexpr ProcId kProcs = 8;
+  constexpr int kAddrs = 6;
+  World w(kProcs);
+  sim::Rng rng(GetParam());
+
+  std::vector<Addr> addrs;
+  for (int i = 0; i < kAddrs; ++i) {
+    addrs.push_back(w.mem.alloc(static_cast<ProcId>(rng.below(kProcs)), 16));
+  }
+
+  // One op stream per processor, all running concurrently.
+  for (ProcId p = 0; p < kProcs; ++p) {
+    std::vector<RandomOp> ops;
+    for (int i = 0; i < 50; ++i) {
+      ops.push_back(RandomOp{p, addrs[rng.below(kAddrs)], rng.chance(0.4)});
+    }
+    sim::detach(run_ops(&w.mem, std::move(ops)));
+  }
+  w.eng.run();
+
+  for (const Addr a : addrs) {
+    const Line l = line_of(a);
+    int modified = 0, shared = 0;
+    for (ProcId p = 0; p < kProcs; ++p) {
+      const LineState st = w.mem.cache(p).lookup(l);
+      if (st == LineState::kModified) ++modified;
+      if (st == LineState::kShared) ++shared;
+    }
+    EXPECT_LE(modified, 1) << "two modified copies of line " << l;
+    if (modified == 1) {
+      EXPECT_EQ(shared, 0) << "dirty line " << l << " also shared";
+    }
+    const auto d = w.mem.dir_snapshot(l);
+    EXPECT_FALSE(d.busy) << "transaction leaked on line " << l;
+    if (d.modified) {
+      EXPECT_EQ(w.mem.cache(d.owner).lookup(l), LineState::kModified);
+    }
+  }
+  // Sanity: the workload did something.
+  EXPECT_GT(w.mem.stats().misses(), 0u);
+  EXPECT_GT(w.net.stats().coherence_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 99u, 1234u));
+
+// ---------------------------------------------------------------------------
+// Prefetching and MSHR request merging (§2.5: "prefetching will lower the
+// relative cost of performing data migration")
+// ---------------------------------------------------------------------------
+
+Task<> prefetch_then_read(CoherentMemory* mem, ProcId p, Addr a,
+                          unsigned bytes, sim::Machine* m, Cycles gap,
+                          Cycles* read_latency) {
+  mem->prefetch(p, a, bytes);
+  if (gap > 0) co_await m->sleep(gap);
+  const Cycles start = m->engine().now();
+  co_await mem->read(p, a, bytes);
+  *read_latency = m->engine().now() - start;
+}
+
+TEST(Prefetch, HidesMissLatency) {
+  // Demand-read 10 remote lines serially vs. after a prefetch that has had
+  // time to complete: the prefetched read costs nothing.
+  Cycles cold = 0, warm = 0;
+  {
+    World w(4);
+    const Addr a = w.mem.alloc(2, 160);
+    sim::detach(prefetch_then_read(&w.mem, 0, a, 160, &w.machine, 0, &cold));
+    w.eng.run();
+  }
+  {
+    World w(4);
+    const Addr a = w.mem.alloc(2, 160);
+    sim::detach(
+        prefetch_then_read(&w.mem, 0, a, 160, &w.machine, 5000, &warm));
+    w.eng.run();
+    EXPECT_EQ(w.mem.stats().prefetches, 10u);
+  }
+  EXPECT_EQ(warm, 0u);  // everything hit
+  EXPECT_GT(cold, 0u);
+}
+
+TEST(Prefetch, OverlapsInFlightMissesViaMshr) {
+  // Even with no gap, prefetching issues all line transactions in parallel;
+  // the demand read merges with them instead of serialising the misses.
+  Cycles serial = 0, overlapped = 0;
+  {
+    World w(4);
+    const Addr a = w.mem.alloc(2, 160);
+    Cycles dummy = 0;
+    sim::detach(prefetch_then_read(&w.mem, 0, a, 0, &w.machine, 0, &dummy));
+    const Cycles start = w.eng.now();
+    sim::detach(do_read(&w.mem, 0, a, 160, &serial, &w.eng));
+    w.eng.run();
+    serial -= start;
+  }
+  {
+    World w(4);
+    const Addr a = w.mem.alloc(2, 160);
+    sim::detach(
+        prefetch_then_read(&w.mem, 0, a, 160, &w.machine, 0, &overlapped));
+    w.eng.run();
+    EXPECT_GT(w.mem.stats().mshr_merges, 0u);
+  }
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(Prefetch, DoesNotDuplicateTransactions) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  w.mem.prefetch(0, a, 16);
+  w.mem.prefetch(0, a, 16);  // second prefetch merges/no-ops
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().prefetches, 1u);
+  EXPECT_EQ(w.mem.stats().read_misses, 1u);
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kShared);
+}
+
+TEST(Prefetch, PrefetchOfPresentLineIsFree) {
+  World w(4);
+  const Addr a = w.mem.alloc(1, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  const auto msgs = w.net.stats().messages;
+  w.mem.prefetch(0, a, 16);
+  w.eng.run();
+  EXPECT_EQ(w.net.stats().messages, msgs);
+}
+
+TEST(Mshr, ConcurrentReadersOfOneLineShareOneTransaction) {
+  World w(4);
+  const Addr a = w.mem.alloc(3, 16);
+  // Two threads on the SAME processor read the same line concurrently.
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().mshr_merges, 1u);
+  // One request + one data reply only.
+  EXPECT_EQ(w.net.stats().messages, 2u);
+}
+
+TEST(Mshr, WriteAfterInFlightReadUpgrades) {
+  World w(4);
+  const Addr a = w.mem.alloc(3, 16);
+  sim::detach(do_read(&w.mem, 0, a, 16, nullptr, &w.eng));
+  sim::detach(do_write(&w.mem, 0, a, 16, nullptr, &w.eng));
+  w.eng.run();
+  EXPECT_EQ(w.mem.cache(0).lookup(line_of(a)), LineState::kModified);
+  EXPECT_GE(w.mem.stats().mshr_merges, 1u);
+  const auto d = w.mem.dir_snapshot(line_of(a));
+  EXPECT_TRUE(d.modified);
+  EXPECT_EQ(d.owner, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LimitLESS limited directories [CKA91]
+// ---------------------------------------------------------------------------
+
+Task<> read_all(CoherentMemory* mem, Addr a, ProcId nprocs) {
+  for (ProcId p = 0; p < nprocs; ++p) co_await mem->read(p, a, 16);
+}
+
+TEST(LimitLess, FullMapNeverTraps) {
+  World w(8);
+  const Addr a = w.mem.alloc(0, 16);
+  sim::detach(read_all(&w.mem, a, 8));
+  w.eng.run();
+  EXPECT_EQ(w.mem.stats().limitless_traps, 0u);
+}
+
+TEST(LimitLess, OverflowingSharersTrapsToSoftware) {
+  ProtocolParams pp;
+  pp.hw_sharer_pointers = 2;
+  sim::Engine eng;
+  sim::Machine machine(eng, 8);
+  net::ConstantNetwork net(eng);
+  CoherentMemory mem(machine, net, {}, pp);
+  const Addr a = mem.alloc(0, 16);
+  sim::detach(read_all(&mem, a, 8));
+  eng.run();
+  // Sharers 3..8 each overflow the 2-pointer hardware set.
+  EXPECT_EQ(mem.stats().limitless_traps, 6u);
+  // The trap handler runs on the home CPU.
+  EXPECT_GE(machine.proc(0).busy_cycles(), 6u * pp.limitless_trap);
+  // Coherence is unaffected: everyone shares the line.
+  for (ProcId p = 0; p < 8; ++p) {
+    EXPECT_EQ(mem.cache(p).lookup(line_of(a)), LineState::kShared);
+  }
+}
+
+TEST(LimitLess, InvalidatingOverflowedSetTrapsToo) {
+  ProtocolParams pp;
+  pp.hw_sharer_pointers = 2;
+  sim::Engine eng;
+  sim::Machine machine(eng, 8);
+  net::ConstantNetwork net(eng);
+  CoherentMemory mem(machine, net, {}, pp);
+  const Addr a = mem.alloc(0, 16);
+  sim::detach(read_all(&mem, a, 8));
+  eng.run();
+  const auto traps = mem.stats().limitless_traps;
+  sim::detach(do_write(&mem, 3, a, 16, nullptr, &eng));
+  eng.run();
+  EXPECT_GT(mem.stats().limitless_traps, traps);
+  // SWMR still holds after the trap-assisted invalidation.
+  for (ProcId p = 0; p < 8; ++p) {
+    EXPECT_EQ(mem.cache(p).lookup(line_of(a)),
+              p == 3 ? LineState::kModified : LineState::kInvalid);
+  }
+}
+
+TEST(LimitLess, TrapsSlowWidelySharedReads) {
+  auto total_time = [](unsigned ptrs) {
+    ProtocolParams pp;
+    pp.hw_sharer_pointers = ptrs;
+    sim::Engine eng;
+    sim::Machine machine(eng, 16);
+    net::ConstantNetwork net(eng);
+    CoherentMemory mem(machine, net, {}, pp);
+    const Addr a = mem.alloc(0, 16);
+    sim::detach(read_all(&mem, a, 16));
+    eng.run();
+    return eng.now();
+  };
+  EXPECT_GT(total_time(2), total_time(0));
+}
+
+// Determinism: identical seeds must give byte-identical statistics.
+TEST(Coherence, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    World w(8);
+    sim::Rng rng(seed);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4; ++i) addrs.push_back(w.mem.alloc(rng.below(8), 16));
+    for (ProcId p = 0; p < 8; ++p) {
+      std::vector<RandomOp> ops;
+      for (int i = 0; i < 30; ++i) {
+        ops.push_back(RandomOp{p, addrs[rng.below(4)], rng.chance(0.5)});
+      }
+      sim::detach(run_ops(&w.mem, std::move(ops)));
+    }
+    w.eng.run();
+    return std::tuple{w.eng.now(), w.net.stats().words, w.mem.stats().misses()};
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // and seeds matter
+}
+
+}  // namespace
+}  // namespace cm::shmem

@@ -1,0 +1,120 @@
+#include "sim/processor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/task.h"
+
+namespace cm::sim {
+namespace {
+
+TEST(Processor, AcquireWhenIdleStartsImmediately) {
+  Processor p(0);
+  EXPECT_EQ(p.acquire(100, 50), 150u);
+  EXPECT_EQ(p.free_at(), 150u);
+  EXPECT_EQ(p.busy_cycles(), 50u);
+  EXPECT_EQ(p.queue_delay_cycles(), 0u);
+}
+
+TEST(Processor, BackToBackRequestsQueueFcfs) {
+  Processor p(0);
+  EXPECT_EQ(p.acquire(0, 100), 100u);
+  EXPECT_EQ(p.acquire(0, 100), 200u);   // waits behind the first
+  EXPECT_EQ(p.acquire(50, 100), 300u);  // still queued
+  EXPECT_EQ(p.busy_cycles(), 300u);
+  EXPECT_EQ(p.queue_delay_cycles(), 100u + 150u);
+  EXPECT_EQ(p.requests(), 3u);
+}
+
+TEST(Processor, GapLeavesCpuIdle) {
+  Processor p(0);
+  EXPECT_EQ(p.acquire(0, 10), 10u);
+  EXPECT_EQ(p.acquire(100, 10), 110u);  // idle 10..100
+  EXPECT_EQ(p.busy_cycles(), 20u);
+}
+
+TEST(Processor, ZeroCostAcquire) {
+  Processor p(0);
+  EXPECT_EQ(p.acquire(5, 0), 5u);
+  EXPECT_EQ(p.busy_cycles(), 0u);
+}
+
+TEST(Machine, ExecChargesCpuBeforeRunning) {
+  Engine eng;
+  Machine m(eng, 2);
+  std::vector<std::pair<ProcId, Cycles>> log;
+  m.exec(0, 100, [&] { log.emplace_back(0, eng.now()); });
+  m.exec(0, 50, [&] { log.emplace_back(0, eng.now()); });   // queues
+  m.exec(1, 30, [&] { log.emplace_back(1, eng.now()); });   // parallel
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<ProcId, Cycles>{1, 30}));
+  EXPECT_EQ(log[1], (std::pair<ProcId, Cycles>{0, 100}));
+  EXPECT_EQ(log[2], (std::pair<ProcId, Cycles>{0, 150}));
+  EXPECT_EQ(m.total_busy(), 180u);
+}
+
+Task<> worker(Machine* m, ProcId p, std::vector<Cycles>* marks) {
+  co_await m->compute(p, 10);
+  marks->push_back(m->engine().now());
+  co_await m->compute(p, 20);
+  marks->push_back(m->engine().now());
+}
+
+TEST(Machine, ComputeAwaitableAdvancesTime) {
+  Engine eng;
+  Machine m(eng, 1);
+  std::vector<Cycles> marks;
+  detach(worker(&m, 0, &marks));
+  eng.run();
+  EXPECT_EQ(marks, (std::vector<Cycles>{10, 30}));
+}
+
+TEST(Machine, TwoThreadsShareOneCpuFcfs) {
+  Engine eng;
+  Machine m(eng, 1);
+  std::vector<Cycles> a, b;
+  detach(worker(&m, 0, &a));
+  detach(worker(&m, 0, &b));
+  eng.run();
+  // a runs 0-10, b queues 10-20, a 20-40, b 40-60.
+  EXPECT_EQ(a, (std::vector<Cycles>{10, 40}));
+  EXPECT_EQ(b, (std::vector<Cycles>{20, 60}));
+  EXPECT_EQ(m.proc(0).busy_cycles(), 60u);
+}
+
+Task<> napper(Machine* m, Cycles d, Cycles* woke) {
+  co_await m->sleep(d);
+  *woke = m->engine().now();
+}
+
+TEST(Machine, SleepDoesNotOccupyCpu) {
+  Engine eng;
+  Machine m(eng, 1);
+  Cycles woke = 0;
+  detach(napper(&m, 500, &woke));
+  eng.run();
+  EXPECT_EQ(woke, 500u);
+  EXPECT_EQ(m.proc(0).busy_cycles(), 0u);
+}
+
+// Property: with N equal-cost requests arriving together, completion times
+// are exactly cost, 2*cost, ..., N*cost (perfect FCFS serialisation).
+class FcfsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FcfsProperty, SerialisesEqualWork) {
+  const int n = GetParam();
+  Processor p(0);
+  for (int i = 1; i <= n; ++i) {
+    EXPECT_EQ(p.acquire(0, 7), static_cast<Cycles>(7 * i));
+  }
+  EXPECT_EQ(p.busy_cycles(), static_cast<Cycles>(7 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FcfsProperty, ::testing::Values(1, 2, 8, 64, 1000));
+
+}  // namespace
+}  // namespace cm::sim

@@ -1,0 +1,157 @@
+// Configuration-space corners that the main suites do not cover: short
+// methods at the application level, the mesh and LimitLESS options flowing
+// through the workload drivers, scheme naming, and cost-model edge sizes.
+#include <gtest/gtest.h>
+
+#include "apps/counting_network.h"
+#include "apps/workload.h"
+#include "core/mechanism.h"
+#include "net/constant_net.h"
+#include "shmem/coherent_memory.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace cm {
+namespace {
+
+using core::Mechanism;
+using core::Scheme;
+
+TEST(SchemeNaming, MatchesPaperTableLabels) {
+  EXPECT_EQ((Scheme{Mechanism::kSharedMemory, false, false}).name(), "SM");
+  EXPECT_EQ((Scheme{Mechanism::kRpc, true, false}).name(), "RPC w/HW");
+  EXPECT_EQ((Scheme{Mechanism::kMigration, false, true}).name(),
+            "CP w/repl.");
+  EXPECT_EQ((Scheme{Mechanism::kMigration, true, true}).name(),
+            "CP w/repl. & HW");
+  EXPECT_EQ((Scheme{Mechanism::kObjectMigration, false, false}).name(),
+            "OBJ");
+  EXPECT_EQ((Scheme{Mechanism::kThreadMigration, false, false}).name(),
+            "TM");
+}
+
+TEST(SchemeCostModel, HwFlagTogglesBothHardwareAssists) {
+  const auto sw = (Scheme{Mechanism::kRpc, false, false}).cost_model();
+  const auto hw = (Scheme{Mechanism::kRpc, true, false}).cost_model();
+  EXPECT_FALSE(sw.hw_message);
+  EXPECT_FALSE(sw.hw_oid);
+  EXPECT_TRUE(hw.hw_message);
+  EXPECT_TRUE(hw.hw_oid);
+}
+
+TEST(CostModelEdges, ZeroWordMessagesStillCost) {
+  const auto m = core::CostModel::software();
+  EXPECT_GT(m.marshal(0), 0u);
+  EXPECT_GT(m.sender_total(0), 0u);
+  EXPECT_GT(m.receiver_total(0, false), 0u);
+  // Monotone in payload size.
+  for (unsigned w = 1; w < 64; w *= 2) {
+    EXPECT_LE(m.sender_total(w - 1), m.sender_total(w));
+    EXPECT_LE(m.receiver_total(w - 1, true), m.receiver_total(w, true));
+  }
+}
+
+TEST(CostModelEdges, NiRegisterSpillKicksInPastTenWords) {
+  const auto hw = core::CostModel::software().with_hw_message();
+  EXPECT_EQ(hw.copy(10), hw.copy(4));      // fits in the register file
+  EXPECT_GT(hw.copy(11), hw.copy(10));     // spills
+  EXPECT_GT(hw.copy(64), hw.copy(32));
+}
+
+// Short-method fast path exercised through the counting network: fewer
+// server-side cycles per access, no threads created for the RPC calls.
+TEST(ShortMethods, FastPathSpeedsUpRpcBalancers) {
+  auto run = [](bool short_methods) {
+    sim::Engine eng;
+    sim::Machine machine(eng, 24 + 4);
+    net::ConstantNetwork net(eng);
+    core::ObjectSpace objects;
+    core::Runtime rt(machine, net, objects, core::CostModel::software());
+    apps::CountingNetwork::Params p;
+    p.rpc_short_methods = short_methods;
+    apps::CountingNetwork cn(rt, nullptr, p);
+    bool done = false;
+    sim::detach([](core::Runtime* rt, apps::CountingNetwork* cn,
+                   bool* done) -> sim::Task<> {
+      core::Ctx ctx{rt, 24};
+      for (int i = 0; i < 10; ++i) {
+        (void)co_await cn->get_next(ctx, Mechanism::kRpc, 0);
+      }
+      *done = true;
+    }(&rt, &cn, &done));
+    eng.run();
+    EXPECT_TRUE(done);
+    return std::pair{eng.now(), rt.stats().threads_created};
+  };
+  const auto [slow_t, slow_threads] = run(false);
+  const auto [fast_t, fast_threads] = run(true);
+  EXPECT_LT(fast_t, slow_t);
+  EXPECT_EQ(fast_threads, 0u);
+  EXPECT_GT(slow_threads, 0u);
+}
+
+// The workload drivers honour their interconnect / directory options.
+TEST(WorkloadOptions, MeshAndUniformDiffer) {
+  apps::CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.requesters = 8;
+  cfg.window = apps::Window{5'000, 30'000};
+  cfg.mesh = true;
+  const auto mesh = run_counting(cfg);
+  cfg.mesh = false;
+  const auto uniform = run_counting(cfg);
+  EXPECT_GT(mesh.ops, 0);
+  EXPECT_GT(uniform.ops, 0);
+  // Different timing models give different schedules: op counts can
+  // coincide, but the exact traffic inside the window will not.
+  EXPECT_NE(std::pair(mesh.ops, mesh.words),
+            std::pair(uniform.ops, uniform.words));
+}
+
+TEST(WorkloadOptions, LimitlessPointerBudgetAffectsSmOnly) {
+  apps::BTreeConfig cfg;
+  cfg.nkeys = 1'000;
+  cfg.window = apps::Window{5'000, 40'000};
+  cfg.scheme = Scheme{Mechanism::kSharedMemory, false, false};
+  cfg.limitless_pointers = 0;  // full map
+  const auto full = run_btree(cfg);
+  cfg.limitless_pointers = 1;
+  const auto tiny = run_btree(cfg);
+  EXPECT_GT(full.ops, tiny.ops);
+
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.limitless_pointers = 0;
+  const auto cp_full = run_btree(cfg);
+  cfg.limitless_pointers = 1;
+  const auto cp_tiny = run_btree(cfg);
+  EXPECT_EQ(cp_full.ops, cp_tiny.ops);  // message passing: unaffected
+}
+
+TEST(WorkloadOptions, InsertRatioExtremesRun) {
+  for (const double ratio : {0.0, 1.0}) {
+    apps::BTreeConfig cfg;
+    cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+    cfg.nkeys = 500;
+    cfg.insert_ratio = ratio;
+    cfg.window = apps::Window{5'000, 30'000};
+    const auto r = run_btree(cfg);
+    EXPECT_GT(r.ops, 0) << "insert ratio " << ratio;
+  }
+}
+
+TEST(WorkloadStats, BandwidthAndThroughputAreConsistent) {
+  apps::CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kRpc, false, false};
+  cfg.requesters = 8;
+  cfg.window = apps::Window{5'000, 50'000};
+  const auto r = run_counting(cfg);
+  EXPECT_EQ(r.window, 50'000u);
+  EXPECT_NEAR(r.throughput_per_1000(),
+              static_cast<double>(r.ops) / 50.0, 1e-9);
+  EXPECT_NEAR(r.words_per_10(), static_cast<double>(r.words) / 5'000.0,
+              1e-9);
+  EXPECT_GE(r.runtime.remote_calls, static_cast<std::uint64_t>(r.ops));
+}
+
+}  // namespace
+}  // namespace cm
