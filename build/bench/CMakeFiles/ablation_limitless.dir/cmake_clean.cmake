@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_limitless.dir/ablation_limitless.cc.o"
+  "CMakeFiles/ablation_limitless.dir/ablation_limitless.cc.o.d"
+  "ablation_limitless"
+  "ablation_limitless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_limitless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

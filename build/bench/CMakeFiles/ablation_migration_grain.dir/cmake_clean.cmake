@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migration_grain.dir/ablation_migration_grain.cc.o"
+  "CMakeFiles/ablation_migration_grain.dir/ablation_migration_grain.cc.o.d"
+  "ablation_migration_grain"
+  "ablation_migration_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migration_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

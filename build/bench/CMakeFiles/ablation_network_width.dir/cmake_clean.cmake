@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_network_width.dir/ablation_network_width.cc.o"
+  "CMakeFiles/ablation_network_width.dir/ablation_network_width.cc.o.d"
+  "ablation_network_width"
+  "ablation_network_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

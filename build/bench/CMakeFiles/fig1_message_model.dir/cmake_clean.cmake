@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_message_model.dir/fig1_message_model.cc.o"
+  "CMakeFiles/fig1_message_model.dir/fig1_message_model.cc.o.d"
+  "fig1_message_model"
+  "fig1_message_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_message_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_counting_throughput.dir/fig2_counting_throughput.cc.o"
+  "CMakeFiles/fig2_counting_throughput.dir/fig2_counting_throughput.cc.o.d"
+  "fig2_counting_throughput"
+  "fig2_counting_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_counting_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

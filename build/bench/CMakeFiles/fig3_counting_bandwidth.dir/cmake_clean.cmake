@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_counting_bandwidth.dir/fig3_counting_bandwidth.cc.o"
+  "CMakeFiles/fig3_counting_bandwidth.dir/fig3_counting_bandwidth.cc.o.d"
+  "fig3_counting_bandwidth"
+  "fig3_counting_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_counting_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_2_btree_zero_think.dir/table1_2_btree_zero_think.cc.o"
+  "CMakeFiles/table1_2_btree_zero_think.dir/table1_2_btree_zero_think.cc.o.d"
+  "table1_2_btree_zero_think"
+  "table1_2_btree_zero_think.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_btree_zero_think.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_2_btree_zero_think.
+# This may be replaced when dependencies are built.

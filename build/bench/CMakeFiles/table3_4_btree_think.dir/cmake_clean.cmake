@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_4_btree_think.dir/table3_4_btree_think.cc.o"
+  "CMakeFiles/table3_4_btree_think.dir/table3_4_btree_think.cc.o.d"
+  "table3_4_btree_think"
+  "table3_4_btree_think.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_4_btree_think.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cost_breakdown.dir/table5_cost_breakdown.cc.o"
+  "CMakeFiles/table5_cost_breakdown.dir/table5_cost_breakdown.cc.o.d"
+  "table5_cost_breakdown"
+  "table5_cost_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cost_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

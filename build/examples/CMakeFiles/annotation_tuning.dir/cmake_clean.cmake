@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_tuning.dir/annotation_tuning.cpp.o"
+  "CMakeFiles/annotation_tuning.dir/annotation_tuning.cpp.o.d"
+  "annotation_tuning"
+  "annotation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_demo.dir/btree_demo.cpp.o"
+  "CMakeFiles/btree_demo.dir/btree_demo.cpp.o.d"
+  "btree_demo"
+  "btree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

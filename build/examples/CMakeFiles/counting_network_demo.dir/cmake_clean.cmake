@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_network_demo.dir/counting_network_demo.cpp.o"
+  "CMakeFiles/counting_network_demo.dir/counting_network_demo.cpp.o.d"
+  "counting_network_demo"
+  "counting_network_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_network_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_objects.dir/mobile_objects.cpp.o"
+  "CMakeFiles/mobile_objects.dir/mobile_objects.cpp.o.d"
+  "mobile_objects"
+  "mobile_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_apps.dir/btree.cc.o"
+  "CMakeFiles/cm_apps.dir/btree.cc.o.d"
+  "CMakeFiles/cm_apps.dir/counting_network.cc.o"
+  "CMakeFiles/cm_apps.dir/counting_network.cc.o.d"
+  "CMakeFiles/cm_apps.dir/workload.cc.o"
+  "CMakeFiles/cm_apps.dir/workload.cc.o.d"
+  "libcm_apps.a"
+  "libcm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/cm_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/cm_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/mobile.cc" "src/core/CMakeFiles/cm_core.dir/mobile.cc.o" "gcc" "src/core/CMakeFiles/cm_core.dir/mobile.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/cm_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/cm_core.dir/replication.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/cm_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/cm_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/cm_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_core.dir/adaptive.cc.o"
+  "CMakeFiles/cm_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/cm_core.dir/mobile.cc.o"
+  "CMakeFiles/cm_core.dir/mobile.cc.o.d"
+  "CMakeFiles/cm_core.dir/replication.cc.o"
+  "CMakeFiles/cm_core.dir/replication.cc.o.d"
+  "CMakeFiles/cm_core.dir/runtime.cc.o"
+  "CMakeFiles/cm_core.dir/runtime.cc.o.d"
+  "libcm_core.a"
+  "libcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/constant_net.cc" "src/net/CMakeFiles/cm_net.dir/constant_net.cc.o" "gcc" "src/net/CMakeFiles/cm_net.dir/constant_net.cc.o.d"
+  "/root/repo/src/net/mesh_net.cc" "src/net/CMakeFiles/cm_net.dir/mesh_net.cc.o" "gcc" "src/net/CMakeFiles/cm_net.dir/mesh_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

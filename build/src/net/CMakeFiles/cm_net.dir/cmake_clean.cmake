@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_net.dir/constant_net.cc.o"
+  "CMakeFiles/cm_net.dir/constant_net.cc.o.d"
+  "CMakeFiles/cm_net.dir/mesh_net.cc.o"
+  "CMakeFiles/cm_net.dir/mesh_net.cc.o.d"
+  "libcm_net.a"
+  "libcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

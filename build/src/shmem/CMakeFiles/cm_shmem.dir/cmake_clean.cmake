@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_shmem.dir/cache.cc.o"
+  "CMakeFiles/cm_shmem.dir/cache.cc.o.d"
+  "CMakeFiles/cm_shmem.dir/coherent_memory.cc.o"
+  "CMakeFiles/cm_shmem.dir/coherent_memory.cc.o.d"
+  "CMakeFiles/cm_shmem.dir/sync.cc.o"
+  "CMakeFiles/cm_shmem.dir/sync.cc.o.d"
+  "libcm_shmem.a"
+  "libcm_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_mutex_test.dir/async_mutex_test.cc.o"
+  "CMakeFiles/async_mutex_test.dir/async_mutex_test.cc.o.d"
+  "async_mutex_test"
+  "async_mutex_test.pdb"
+  "async_mutex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_network_test.dir/counting_network_test.cc.o"
+  "CMakeFiles/counting_network_test.dir/counting_network_test.cc.o.d"
+  "counting_network_test"
+  "counting_network_test.pdb"
+  "counting_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
