@@ -1,0 +1,167 @@
+// Fault-injection sweep: the counting network and the B-tree run a fixed
+// amount of work while the interconnect drops / duplicates / delays an
+// increasing fraction of runtime messages. The reliable transport retries
+// until every effect lands exactly once, so the application-level results
+// are identical in every row; what grows is the price paid for reliability —
+// retransmissions, acks, dedup work, and completion time. This is the
+// paper's "changes only performance, never semantics" claim extended to a
+// lossy network.
+//
+// Output: a human-readable table on stdout plus a JSON dump (default
+// ablation_faults.json, or the path given as argv[1]) carrying the full
+// fault and reliability counters for downstream tooling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+
+using namespace cm;
+using core::Mechanism;
+using core::Scheme;
+
+namespace {
+
+constexpr double kRates[] = {0.0, 0.01, 0.02, 0.05};
+
+net::FaultPlan loss_plan(double rate) {
+  net::FaultPlan plan;
+  plan.rates.drop = rate;
+  plan.rates.duplicate = rate / 2;
+  plan.rates.delay = rate;
+  plan.seed = 0xab1a7e;
+  return plan;
+}
+
+struct Row {
+  const char* workload;
+  const char* mechanism;
+  double rate;
+  apps::RunStats r;
+};
+
+apps::RunStats counting_at(Mechanism mech, double rate) {
+  apps::CountingConfig cfg;
+  cfg.scheme = Scheme{mech, false, false};
+  cfg.requesters = 16;
+  cfg.ops_per_requester = 50;
+  cfg.faults = loss_plan(rate);
+  return run_counting(cfg);
+}
+
+apps::RunStats btree_at(Mechanism mech, double rate) {
+  apps::BTreeConfig cfg;
+  cfg.scheme = Scheme{mech, false, false};
+  cfg.requesters = 8;
+  cfg.nkeys = 1000;
+  cfg.max_entries = 20;
+  cfg.ops_per_requester = 50;
+  cfg.faults = loss_plan(rate);
+  return run_btree(cfg);
+}
+
+void print_table(const std::vector<Row>& rows) {
+  std::printf("%-10s %-6s %6s %10s %10s %9s %9s %7s %7s %10s\n", "workload",
+              "mech", "loss%", "completed", "messages", "dropped", "retrans",
+              "dedup", "fallbk", "result");
+  for (const Row& row : rows) {
+    char result[32];
+    if (std::string(row.workload) == "counting") {
+      std::snprintf(result, sizeof result, "%ld", row.r.total_exited);
+    } else {
+      std::snprintf(result, sizeof result, "%016llx",
+                    static_cast<unsigned long long>(row.r.btree_digest));
+    }
+    std::printf("%-10s %-6s %6.1f %10llu %10llu %9llu %9llu %7llu %7llu %10s\n",
+                row.workload, row.mechanism, row.rate * 100.0,
+                static_cast<unsigned long long>(row.r.completed_at),
+                static_cast<unsigned long long>(row.r.net.messages),
+                static_cast<unsigned long long>(row.r.net.faults_dropped),
+                static_cast<unsigned long long>(row.r.runtime.retransmits),
+                static_cast<unsigned long long>(row.r.runtime.dedup_hits),
+                static_cast<unsigned long long>(
+                    row.r.runtime.migration_fallbacks),
+                result);
+  }
+}
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const core::RtStats& rt = row.r.runtime;
+    const net::NetStats& nt = row.r.net;
+    std::fprintf(
+        f,
+        "  {\"workload\": \"%s\", \"mechanism\": \"%s\", \"loss_rate\": %g,\n"
+        "   \"completed_at\": %llu, \"messages\": %llu, \"words\": %llu,\n"
+        "   \"faults\": {\"dropped\": %llu, \"duplicated\": %llu,"
+        " \"delayed\": %llu, \"nic_dropped\": %llu},\n"
+        "   \"reliability\": {\"reliable_sends\": %llu, \"retransmits\": %llu,"
+        " \"timeouts_fired\": %llu, \"acks_sent\": %llu,"
+        " \"dedup_hits\": %llu, \"stale_deliveries\": %llu,"
+        " \"delivery_failures\": %llu, \"migration_fallbacks\": %llu},\n"
+        "   \"result\": {\"total_exited\": %ld, \"step_property\": %s,"
+        " \"btree_keys\": %llu, \"btree_digest\": \"%016llx\","
+        " \"invariants_ok\": %s}}%s\n",
+        row.workload, row.mechanism, row.rate,
+        static_cast<unsigned long long>(row.r.completed_at),
+        static_cast<unsigned long long>(nt.messages),
+        static_cast<unsigned long long>(nt.words),
+        static_cast<unsigned long long>(nt.faults_dropped),
+        static_cast<unsigned long long>(nt.faults_duplicated),
+        static_cast<unsigned long long>(nt.faults_delayed),
+        static_cast<unsigned long long>(nt.faults_nic_dropped),
+        static_cast<unsigned long long>(rt.reliable_sends),
+        static_cast<unsigned long long>(rt.retransmits),
+        static_cast<unsigned long long>(rt.timeouts_fired),
+        static_cast<unsigned long long>(rt.acks_sent),
+        static_cast<unsigned long long>(rt.dedup_hits),
+        static_cast<unsigned long long>(rt.stale_deliveries),
+        static_cast<unsigned long long>(rt.delivery_failures),
+        static_cast<unsigned long long>(rt.migration_fallbacks),
+        row.r.total_exited, row.r.step_property ? "true" : "false",
+        static_cast<unsigned long long>(row.r.btree_keys),
+        static_cast<unsigned long long>(row.r.btree_digest),
+        row.r.invariants_ok ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Fault-injection sweep: fixed work under message loss\n");
+  std::printf("counting: 16 requesters x 50 ops; B-tree: 8 requesters x 50"
+              " ops, 1000 keys\n");
+  std::printf("plan: drop = rate, duplicate = rate/2, delay = rate\n\n");
+
+  std::vector<Row> rows;
+  for (const double rate : kRates) {
+    rows.push_back({"counting", "CP", rate, counting_at(Mechanism::kMigration,
+                                                        rate)});
+    rows.push_back({"counting", "RPC", rate, counting_at(Mechanism::kRpc,
+                                                         rate)});
+    rows.push_back({"btree", "CP", rate, btree_at(Mechanism::kMigration,
+                                                  rate)});
+    rows.push_back({"btree", "RPC", rate, btree_at(Mechanism::kRpc, rate)});
+  }
+  print_table(rows);
+
+  std::printf(
+      "\nShape: every row of a workload/mechanism pair reports the same\n"
+      "result column regardless of loss rate — faults cost retransmissions\n"
+      "and time, never correctness. At rate 0 the reliable layer is not\n"
+      "installed at all (no acks, no retransmit state).\n");
+
+  write_json(argc > 1 ? argv[1] : "ablation_faults.json", rows);
+  return 0;
+}

@@ -694,6 +694,24 @@ std::vector<std::uint64_t> DistributedBTree::keys_host() const {
   return out;
 }
 
+std::uint64_t DistributedBTree::digest_host() const {
+  // Commutative accumulation of a mixed per-pair hash: insensitive to leaf
+  // boundaries and insertion order, sensitive to any key or value change.
+  std::uint64_t acc = 0;
+  for (std::uint32_t l = leftmost_leaf(); l != kNone; l = nodes_[l].right) {
+    const Node& n = nodes_[l];
+    for (std::size_t i = 0; i < n.maxkey.size(); ++i) {
+      std::uint64_t h =
+          n.maxkey[i] * 0x9e3779b97f4a7c15ULL ^ (n.payload[i] + 0x1ULL);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      acc += h;
+    }
+  }
+  return acc;
+}
+
 bool DistributedBTree::contains_host(std::uint64_t key) const {
   std::uint32_t cur = root_;
   for (;;) {

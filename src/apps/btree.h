@@ -94,6 +94,11 @@ class DistributedBTree {
   [[nodiscard]] unsigned root_children() const;
   [[nodiscard]] bool contains_host(std::uint64_t key) const;
   [[nodiscard]] std::vector<std::uint64_t> keys_host() const;  // sorted
+  /// Order-independent digest over the stored (key, value) pairs: two trees
+  /// with identical contents but different shapes (split histories) compare
+  /// equal. Used by the chaos soak tests to assert that injected faults
+  /// never change application-level results.
+  [[nodiscard]] std::uint64_t digest_host() const;
   /// Structural invariants: sortedness, entry bounds, high keys, right
   /// links, uniform leaf depth. Returns true if all hold.
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;

@@ -9,6 +9,7 @@
 #include "core/object.h"
 #include "core/runtime.h"
 #include "net/constant_net.h"
+#include "net/faulty_net.h"
 #include "net/mesh_net.h"
 #include "shmem/coherent_memory.h"
 #include "sim/engine.h"
@@ -42,10 +43,11 @@ void count_op(RunCtl& ctl, Cycles now) {
 
 Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
                           Mechanism mech, ProcId home, std::uint64_t seed,
-                          Cycles think, RunCtl* ctl) {
+                          Cycles think, long fixed_ops, RunCtl* ctl) {
   Ctx ctx{rt, home};
   sim::Rng rng(seed);
-  while (!ctl->stop) {
+  for (long done = 0; !ctl->stop; ++done) {
+    if (fixed_ops > 0 && done >= fixed_ops) break;
     // Each request enters on a (deterministically) random wire, as counting
     // network clients do in practice.
     const auto wire = static_cast<unsigned>(rng.below(cn->width()));
@@ -60,10 +62,11 @@ Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
 Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
                        Mechanism mech, ProcId home, Cycles think,
                        double insert_ratio, std::uint64_t key_space,
-                       std::uint64_t seed, RunCtl* ctl) {
+                       std::uint64_t seed, long fixed_ops, RunCtl* ctl) {
   Ctx ctx{rt, home};
   sim::Rng rng(seed);
-  while (!ctl->stop) {
+  for (long done = 0; !ctl->stop; ++done) {
+    if (fixed_ops > 0 && done >= fixed_ops) break;
     const std::uint64_t key = rng.below(key_space);
     if (rng.uniform() < insert_ratio) {
       (void)co_await bt->insert(ctx, mech, key, key);
@@ -92,9 +95,15 @@ RunStats run_counting(const CountingConfig& cfg) {
   sim::Machine machine(eng, nprocs);
   net::ConstantNetwork constant_net(eng);
   net::MeshNetwork mesh_net(eng, nprocs, {});
-  net::Network& network =
+  net::Network& base_network =
       cfg.mesh ? static_cast<net::Network&>(mesh_net)
                : static_cast<net::Network&>(constant_net);
+  // Chaos mode: only an active fault plan installs the fault injector and
+  // the reliable transport, so fault-free runs stay bit-identical.
+  const bool chaos = cfg.faults.active();
+  net::FaultyNetwork faulty_net(eng, base_network, cfg.faults);
+  net::Network& network =
+      chaos ? static_cast<net::Network&>(faulty_net) : base_network;
   std::unique_ptr<shmem::CoherentMemory> mem;
   if (cfg.scheme.mechanism == Mechanism::kSharedMemory) {
     shmem::ProtocolParams pp;
@@ -104,33 +113,42 @@ RunStats run_counting(const CountingConfig& cfg) {
   }
   core::ObjectSpace objects;
   core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
+  if (chaos) rt.enable_reliability(cfg.reliable);
   CountingNetwork cn(rt, mem.get(), np);
 
+  const bool fixed = cfg.ops_per_requester > 0;
   RunCtl ctl;
-  ctl.warm_at = cfg.window.warmup;
-  ctl.end_at = cfg.window.warmup + cfg.window.measure;
+  ctl.warm_at = fixed ? 0 : cfg.window.warmup;
+  ctl.end_at = fixed ? ~Cycles{0} : cfg.window.warmup + cfg.window.measure;
 
   for (unsigned i = 0; i < cfg.requesters; ++i) {
     const ProcId home = static_cast<ProcId>(balancers + i);
     sim::detach(counting_requester(&rt, &cn, cfg.scheme.mechanism, home,
-                                   cfg.seed * 7919 + i, cfg.think, &ctl));
+                                   cfg.seed * 7919 + i, cfg.think,
+                                   cfg.ops_per_requester, &ctl));
   }
-  eng.at(ctl.warm_at, [&] {
-    ctl.words_at_warm = network.stats().words;
-    ctl.msgs_at_warm = network.stats().messages;
-  });
-  eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  if (!fixed) {
+    eng.at(ctl.warm_at, [&] {
+      ctl.words_at_warm = network.stats().words;
+      ctl.msgs_at_warm = network.stats().messages;
+    });
+    eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  }
   eng.run();
 
   RunStats out;
   out.ops = ctl.ops;
-  out.window = cfg.window.measure;
+  out.window = fixed ? eng.now() : cfg.window.measure;
   out.words = network.stats().words - ctl.words_at_warm;
   out.messages = network.stats().messages - ctl.msgs_at_warm;
   if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
   out.migrations = rt.stats().migrations;
   out.remote_calls = rt.stats().remote_calls;
   out.runtime = rt.stats();
+  out.net = network.stats();
+  out.completed_at = eng.now();
+  out.total_exited = cn.total_exited();
+  out.step_property = cn.has_step_property();
   return out;
 }
 
@@ -140,9 +158,13 @@ RunStats run_btree(const BTreeConfig& cfg) {
   sim::Machine machine(eng, nprocs);
   net::ConstantNetwork constant_net(eng);
   net::MeshNetwork mesh_net(eng, nprocs, {});
-  net::Network& network =
+  net::Network& base_network =
       cfg.mesh ? static_cast<net::Network&>(mesh_net)
                : static_cast<net::Network&>(constant_net);
+  const bool chaos = cfg.faults.active();
+  net::FaultyNetwork faulty_net(eng, base_network, cfg.faults);
+  net::Network& network =
+      chaos ? static_cast<net::Network&>(faulty_net) : base_network;
   std::unique_ptr<shmem::CoherentMemory> mem;
   if (cfg.scheme.mechanism == Mechanism::kSharedMemory) {
     shmem::ProtocolParams pp;
@@ -152,6 +174,7 @@ RunStats run_btree(const BTreeConfig& cfg) {
   }
   core::ObjectSpace objects;
   core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
+  if (chaos) rt.enable_reliability(cfg.reliable);
 
   DistributedBTree::Params bp;
   bp.max_entries = cfg.max_entries;
@@ -166,33 +189,42 @@ RunStats run_btree(const BTreeConfig& cfg) {
   for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i;
   bt.bulk_load(keys);
 
+  const bool fixed = cfg.ops_per_requester > 0;
   RunCtl ctl;
-  ctl.warm_at = cfg.window.warmup;
-  ctl.end_at = cfg.window.warmup + cfg.window.measure;
+  ctl.warm_at = fixed ? 0 : cfg.window.warmup;
+  ctl.end_at = fixed ? ~Cycles{0} : cfg.window.warmup + cfg.window.measure;
 
   for (unsigned i = 0; i < cfg.requesters; ++i) {
     const ProcId home = static_cast<ProcId>(cfg.node_procs + i);
     sim::detach(btree_requester(&rt, &bt, cfg.scheme.mechanism, home,
                                 cfg.think, cfg.insert_ratio,
                                 2 * static_cast<std::uint64_t>(cfg.nkeys),
-                                cfg.seed * 1000003 + i, &ctl));
+                                cfg.seed * 1000003 + i,
+                                cfg.ops_per_requester, &ctl));
   }
-  eng.at(ctl.warm_at, [&] {
-    ctl.words_at_warm = network.stats().words;
-    ctl.msgs_at_warm = network.stats().messages;
-  });
-  eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  if (!fixed) {
+    eng.at(ctl.warm_at, [&] {
+      ctl.words_at_warm = network.stats().words;
+      ctl.msgs_at_warm = network.stats().messages;
+    });
+    eng.at(ctl.end_at, [&] { ctl.stop = true; });
+  }
   eng.run();
 
   RunStats out;
   out.ops = ctl.ops;
-  out.window = cfg.window.measure;
+  out.window = fixed ? eng.now() : cfg.window.measure;
   out.words = network.stats().words - ctl.words_at_warm;
   out.messages = network.stats().messages - ctl.msgs_at_warm;
   if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
   out.migrations = rt.stats().migrations;
   out.remote_calls = rt.stats().remote_calls;
   out.runtime = rt.stats();
+  out.net = network.stats();
+  out.completed_at = eng.now();
+  out.btree_keys = bt.num_keys();
+  out.btree_digest = bt.digest_host();
+  out.invariants_ok = bt.check_invariants();
   return out;
 }
 

@@ -14,7 +14,9 @@
 #include <cstdint>
 
 #include "core/mechanism.h"
+#include "core/reliable.h"
 #include "core/stats.h"
+#include "net/faulty_net.h"
 #include "sim/types.h"
 
 namespace cm::apps {
@@ -33,6 +35,16 @@ struct RunStats {
   std::uint64_t migrations = 0;
   std::uint64_t remote_calls = 0;
   core::RtStats runtime;  // full runtime counters incl. Table-5 breakdown
+  net::NetStats net;      // full network counters incl. injected faults
+  sim::Cycles completed_at = 0;  // engine time when the run drained
+
+  // Application-level end state, for chaos invariant checks (identical
+  // under any fault plan when requesters do fixed work).
+  long total_exited = 0;           // counting network: tokens drained
+  bool step_property = false;      // counting network: AHS step property
+  std::size_t btree_keys = 0;      // B-tree: number of stored keys
+  std::uint64_t btree_digest = 0;  // B-tree: digest of (key, value) pairs
+  bool invariants_ok = false;      // B-tree: structural invariants hold
 
   [[nodiscard]] double throughput_per_1000() const {
     return window == 0 ? 0.0
@@ -59,6 +71,18 @@ struct CountingConfig {
   unsigned width = 8;        // 8x8 network = 24 balancers on 24 processors
   Window window{};
   std::uint64_t seed = 1;
+
+  // Chaos mode: when `faults.active()`, the interconnect is wrapped in a
+  // FaultyNetwork and the runtime's reliable transport is enabled. With an
+  // inactive plan neither layer is installed, keeping fault-free runs
+  // bit-identical to the pre-fault-injection system.
+  net::FaultPlan faults;
+  core::ReliableConfig reliable;
+  // Fixed-work mode: > 0 makes each requester perform exactly this many
+  // operations and the run last until all of them drain (the measurement
+  // window is ignored). Application-level end state is then comparable
+  // across fault plans.
+  long ops_per_requester = 0;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -75,6 +99,11 @@ struct BTreeConfig {
   sim::ProcId node_procs = 48;
   Window window{};
   std::uint64_t seed = 1;
+
+  // Chaos mode + fixed-work mode; see CountingConfig.
+  net::FaultPlan faults;
+  core::ReliableConfig reliable;
+  long ops_per_requester = 0;
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

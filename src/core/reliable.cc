@@ -1,0 +1,102 @@
+#include "core/reliable.h"
+
+#include <algorithm>
+#include <coroutine>
+
+#include "sim/task.h"
+#include "sim/timer.h"
+
+namespace cm::core {
+
+struct ReliableTransport::SendState {
+  sim::ProcId src = 0;
+  sim::ProcId dst = 0;
+  unsigned words = 0;
+  unsigned budget = 0;  // 0 = unbounded
+  std::uint64_t seq = 0;
+  unsigned attempts = 0;
+  sim::Cycles timeout = 0;
+  bool acked = false;
+  bool done = false;       // the awaiter has been resumed...
+  bool delivered = false;  // ...because a copy arrived (vs. giving up)
+  std::coroutine_handle<> waiter;
+  sim::Timer timer;
+
+  explicit SendState(sim::Engine& e) : timer(e) {}
+};
+
+sim::Task<bool> ReliableTransport::send(sim::ProcId src, sim::ProcId dst,
+                                        unsigned words, unsigned budget) {
+  auto st = std::make_shared<SendState>(*engine_);
+  st->src = src;
+  st->dst = dst;
+  st->words = words;
+  st->budget = budget;
+  st->seq = channel(src, dst).next_seq++;
+  st->timeout = cfg_.base_timeout;
+  ++stats_->reliable_sends;
+  // The awaiter is bound to a named local before awaiting: the capture owns
+  // a shared_ptr, and `co_await` on a prvalue awaiter miscounts the
+  // temporary's lifetime under GCC 12.2 (destroys the captured state twice).
+  // See the note on suspend_to in sim/task.h.
+  auto arm_and_wait = sim::suspend_to([this, st](std::coroutine_handle<> h) {
+    st->waiter = h;
+    attempt(st);
+  });
+  co_await arm_and_wait;
+  co_return st->delivered;
+}
+
+void ReliableTransport::attempt(const std::shared_ptr<SendState>& st) {
+  ++st->attempts;
+  if (st->attempts > 1) {
+    ++stats_->retransmits;
+    // The retransmitted copy's wire time is real overhead the fault-free
+    // figures never pay; account it like any other transit.
+    stats_->breakdown.add(Category::kNetworkTransit,
+                          network_->latency(st->src, st->dst, st->words));
+  }
+  network_->send(st->src, st->dst, st->words, net::Traffic::kRuntime,
+                 [this, st] { on_data(st); });
+  st->timer.arm(st->timeout, [this, st] { on_timeout(st); });
+}
+
+void ReliableTransport::on_data(const std::shared_ptr<SendState>& st) {
+  const bool fresh = channel(st->src, st->dst).delivered.insert(st->seq).second;
+  if (!fresh) ++stats_->dedup_hits;
+  // Ack every copy: the ack for an earlier copy may itself have been lost.
+  ++stats_->acks_sent;
+  network_->send(st->dst, st->src, cfg_.ack_words, net::Traffic::kRuntime,
+                 [st] {
+                   st->acked = true;
+                   st->timer.cancel();
+                 });
+  if (!fresh) return;
+  if (st->done) {
+    // The sender already exhausted its budget and took the recovery path;
+    // the receiving runtime discards the stale activation instead of
+    // running it a second time.
+    ++stats_->stale_deliveries;
+    return;
+  }
+  st->done = true;
+  st->delivered = true;
+  st->waiter.resume();
+}
+
+void ReliableTransport::on_timeout(const std::shared_ptr<SendState>& st) {
+  if (st->acked) return;
+  ++stats_->timeouts_fired;
+  if (st->budget != 0 && st->attempts >= st->budget) {
+    ++stats_->delivery_failures;
+    if (!st->done) {
+      st->done = true;  // gave up before any copy arrived: wake the sender
+      st->waiter.resume();
+    }
+    return;
+  }
+  st->timeout = std::min(st->timeout * 2, cfg_.max_timeout);
+  attempt(st);
+}
+
+}  // namespace cm::core

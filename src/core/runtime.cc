@@ -45,6 +45,22 @@ sim::Task<> Runtime::send_path(ProcId at, unsigned words) {
   co_await machine_->compute(at, cost_.sender_total(words));
 }
 
+sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
+                                       unsigned budget) {
+  const unsigned total = words + cost_.header_words;
+  stats_.breakdown.add(Category::kNetworkTransit,
+                       network_->latency(src, dst, total));
+  if (reliable_ == nullptr) {
+    co_await sim::suspend_to([this, src, dst,
+                              total](std::coroutine_handle<> h) {
+      network_->send(src, dst, total, net::Traffic::kRuntime,
+                     [h] { h.resume(); });
+    });
+    co_return true;
+  }
+  co_return co_await reliable_->send(src, dst, total, budget);
+}
+
 sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   const ProcId dest = objects_->home_of(obj);
   // The locality check is shared with ordinary instance-method dispatch.
@@ -55,15 +71,25 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
     co_return;
   }
 
-  ++stats_.migrations;
-  stats_.migrated_words += live_words;
-
   // Continuation client stub: marshal the live variables of this activation
   // and launch a single message. (§3.2: "the continuation procedure's body
   // is the continuation of the migrating procedure at the point of
   // migration; its arguments are the live variables at that point".)
   co_await send_path(ctx.proc, live_words);
-  co_await transfer(ctx.proc, dest, live_words);
+  const bool moved =
+      co_await transfer_impl(ctx.proc, dest, live_words,
+                             reliable_ ? reliable_cfg_.move_retry_budget : 0);
+  if (!moved) {
+    // Recovery path: the MOVE exhausted its retry budget, so the activation
+    // stays where it is and subsequent accesses to the object go through
+    // plain RPC at its home — the annotation still changes only
+    // performance, never semantics, even on a faulty network. A late copy
+    // of the MOVE is discarded at the destination by the reliable layer.
+    ++stats_.migration_fallbacks;
+    co_return;
+  }
+  ++stats_.migrations;
+  stats_.migrated_words += live_words;
 
   // Continuation server stub at the destination: unmarshal the live
   // variables into a fresh activation and a thread to run it. The original
@@ -96,14 +122,21 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
     co_return;
   }
 
-  ++stats_.migrations;
-  stats_.migrated_words += live_words;
-
   // One message carries the live words of every activation in the group;
   // marshaling/unmarshaling scale with the total, but the fixed per-message
   // costs are paid once — the point of multi-activation migration.
   co_await send_path(top.proc, live_words);
-  co_await transfer(top.proc, dest, live_words);
+  const bool moved =
+      co_await transfer_impl(top.proc, dest, live_words,
+                             reliable_ ? reliable_cfg_.move_retry_budget : 0);
+  if (!moved) {
+    // Same recovery as single-activation migration: the whole group stays
+    // put and later accesses are plain RPCs.
+    ++stats_.migration_fallbacks;
+    co_return;
+  }
+  ++stats_.migrations;
+  stats_.migrated_words += live_words;
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
   ++stats_.threads_created;
 

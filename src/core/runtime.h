@@ -28,12 +28,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/cost_model.h"
 #include "core/object.h"
+#include "core/reliable.h"
 #include "core/stats.h"
 #include "net/network.h"
 #include "sim/machine.h"
@@ -92,16 +94,27 @@ class Runtime {
     return charge(ctx.proc, cycles, Category::kUserCode);
   }
 
+  /// Install the reliable transport (seq/ack/retransmit/dedup) over the
+  /// current network — required whenever the network injects faults. With
+  /// no transport installed, transfers use raw fire-and-forget sends: the
+  /// event sequence is bit-identical to the pre-reliability runtime, so
+  /// every fault-free figure is unchanged.
+  void enable_reliability(ReliableConfig cfg = {}) {
+    reliable_cfg_ = cfg;
+    reliable_ = std::make_unique<ReliableTransport>(machine_->engine(),
+                                                    *network_, stats_, cfg);
+  }
+  [[nodiscard]] bool reliability_enabled() const noexcept {
+    return reliable_ != nullptr;
+  }
+
   /// Awaitable runtime message src -> dst carrying `words` payload words
-  /// (header added here); resumes at delivery time.
-  [[nodiscard]] auto transfer(ProcId src, ProcId dst, unsigned words) {
-    const unsigned total = words + cost_.header_words;
-    stats_.breakdown.add(Category::kNetworkTransit,
-                         network_->latency(src, dst, total));
-    return sim::suspend_to([this, src, dst, total](std::coroutine_handle<> h) {
-      network_->send(src, dst, total, net::Traffic::kRuntime,
-                     [h] { h.resume(); });
-    });
+  /// (header added here); resumes at delivery time. Returns true once
+  /// delivered — always, on this unbounded-retry path; only the bounded
+  /// migration MOVE path can report failure.
+  [[nodiscard]] sim::Task<bool> transfer(ProcId src, ProcId dst,
+                                         unsigned words) {
+    return transfer_impl(src, dst, words, /*budget=*/0);
   }
 
   /// THE ANNOTATION (paper §3.1): migrate the current activation to `obj`'s
@@ -192,12 +205,18 @@ class Runtime {
   [[nodiscard]] sim::Task<> receive_reply(ProcId at, unsigned words);
   /// Sender-side stub path (linkage + marshal + packet + launch), atomic.
   [[nodiscard]] sim::Task<> send_path(ProcId at, unsigned words);
+  /// Transfer with an attempt budget (0 = unbounded) under the reliable
+  /// transport; raw send when reliability is disabled.
+  [[nodiscard]] sim::Task<bool> transfer_impl(ProcId src, ProcId dst,
+                                              unsigned words, unsigned budget);
 
   sim::Machine* machine_;
   net::Network* network_;
   ObjectSpace* objects_;
   CostModel cost_;
   RtStats stats_;
+  ReliableConfig reliable_cfg_;
+  std::unique_ptr<ReliableTransport> reliable_;
 };
 
 }  // namespace cm::core

@@ -93,6 +93,21 @@ struct RtStats {
   std::uint64_t replica_invalidations = 0;
   std::uint64_t object_moves = 0;        // Emerald-style object transfers
   std::uint64_t moved_object_words = 0;
+
+  // Reliable-transport counters; all stay zero unless the runtime's
+  // reliability layer is enabled (chaos / fault-injection runs).
+  std::uint64_t reliable_sends = 0;      // payload transfers through the
+                                         // ack/retransmit protocol
+  std::uint64_t retransmits = 0;         // extra DATA copies after a timeout
+  std::uint64_t timeouts_fired = 0;      // ack timers that expired
+  std::uint64_t acks_sent = 0;           // receiver-NIC acknowledgements
+  std::uint64_t dedup_hits = 0;          // duplicate DATA suppressed
+  std::uint64_t stale_deliveries = 0;    // DATA arriving after the sender
+                                         // already gave up (discarded)
+  std::uint64_t delivery_failures = 0;   // sends that exhausted their budget
+  std::uint64_t migration_fallbacks = 0; // MOVE gave up; the activation
+                                         // stayed put and later accesses
+                                         // fall back to plain RPC
   Breakdown breakdown;
 };
 

@@ -1,0 +1,78 @@
+#include "net/faulty_net.h"
+
+namespace cm::net {
+
+const FaultRates& FaultyNetwork::rates_for(sim::ProcId src,
+                                           sim::ProcId dst) const {
+  const auto it = plan_.link_overrides.find({src, dst});
+  return it != plan_.link_overrides.end() ? it->second : plan_.rates;
+}
+
+bool FaultyNetwork::in_window() const noexcept {
+  const sim::Cycles now = engine_->now();
+  return now >= plan_.window_start && now < plan_.window_end;
+}
+
+bool FaultyNetwork::nic_dead(sim::ProcId p) const noexcept {
+  const auto it = plan_.nic_fail_at.find(p);
+  return it != plan_.nic_fail_at.end() && engine_->now() >= it->second;
+}
+
+void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
+                         Traffic kind, std::function<void()> deliver) {
+  const bool faultable =
+      src != dst && (kind == Traffic::kRuntime || plan_.affect_coherence);
+  if (!faultable) {
+    inner_->send(src, dst, words, kind, std::move(deliver));
+    return;
+  }
+  // A fail-stopped NIC eats the message before it reaches the wire.
+  if (nic_dead(src) || nic_dead(dst)) {
+    ++stats_.faults_nic_dropped;
+    return;
+  }
+  if (!in_window()) {
+    inner_->send(src, dst, words, kind, std::move(deliver));
+    return;
+  }
+  const FaultRates& r = rates_for(src, dst);
+  if (r.drop > 0.0 && rng_.chance(r.drop)) {
+    ++stats_.faults_dropped;
+    return;
+  }
+  const sim::Cycles span = std::max<sim::Cycles>(plan_.max_extra_delay, 1);
+  if (r.duplicate > 0.0 && rng_.chance(r.duplicate)) {
+    // The clone crosses the wire as a real (later) message with its own
+    // copy of the delivery callback; receivers must dedup.
+    ++stats_.faults_duplicated;
+    const sim::Cycles extra = 1 + rng_.below(span);
+    engine_->after(extra, [this, src, dst, words, kind, deliver] {
+      inner_->send(src, dst, words, kind, deliver);
+    });
+  }
+  if (r.delay > 0.0 && rng_.chance(r.delay)) {
+    // Holding the message back reorders it w.r.t. anything sent on the link
+    // in the meantime (the inner network has no ordering guarantee across
+    // injection times).
+    ++stats_.faults_delayed;
+    const sim::Cycles extra = 1 + rng_.below(span);
+    engine_->after(extra,
+                   [this, src, dst, words, kind,
+                    d = std::move(deliver)]() mutable {
+                     inner_->send(src, dst, words, kind, std::move(d));
+                   });
+    return;
+  }
+  inner_->send(src, dst, words, kind, std::move(deliver));
+}
+
+const NetStats& FaultyNetwork::stats() const noexcept {
+  merged_ = inner_->stats();
+  merged_.faults_dropped = stats_.faults_dropped;
+  merged_.faults_duplicated = stats_.faults_duplicated;
+  merged_.faults_delayed = stats_.faults_delayed;
+  merged_.faults_nic_dropped = stats_.faults_nic_dropped;
+  return merged_;
+}
+
+}  // namespace cm::net

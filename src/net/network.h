@@ -27,6 +27,15 @@ struct NetStats {
   std::uint64_t coherence_messages = 0;
   std::uint64_t coherence_words = 0;
 
+  // Injected-fault accounting (nonzero only behind a FaultyNetwork). A
+  // dropped message never reaches the wire, so it appears here and NOT in
+  // the traffic counters above; a duplicated message's clone is real
+  // traffic and is counted in both.
+  std::uint64_t faults_dropped = 0;      // messages erased in flight
+  std::uint64_t faults_duplicated = 0;   // extra copies injected
+  std::uint64_t faults_delayed = 0;      // messages held back (reordering)
+  std::uint64_t faults_nic_dropped = 0;  // victims of a fail-stopped NIC
+
   void record(Traffic kind, unsigned w) noexcept {
     ++messages;
     words += w;
@@ -57,7 +66,11 @@ class Network {
   [[nodiscard]] virtual sim::Cycles latency(sim::ProcId src, sim::ProcId dst,
                                             unsigned words) const = 0;
 
-  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  /// Virtual so decorators (FaultyNetwork) can merge their fault counters
+  /// into the wrapped network's traffic counters.
+  [[nodiscard]] virtual const NetStats& stats() const noexcept {
+    return stats_;
+  }
 
  protected:
   NetStats stats_;

@@ -138,6 +138,13 @@ inline Detached detach(Task<void> t) { co_await std::move(t); }
 
 /// Suspend the current coroutine and pass its handle to `f`. `f` must arrange
 /// for the handle to be resumed exactly once (typically via Engine::at).
+///
+/// CAUTION: if `f` owns non-trivially-destructible state (shared_ptr and
+/// friends), bind the result to a named local and await that:
+///     auto aw = suspend_to(...); co_await aw;
+/// GCC 12.2 (the baked-in toolchain) runs the destructor of a *prvalue*
+/// co_await operand twice, which silently corrupts reference counts.
+/// Trivially-destructible captures (pointers, ints, handles) are unaffected.
 template <class F>
 auto suspend_to(F f) {
   struct Awaiter {

@@ -1,0 +1,186 @@
+// Chaos soak tests: the counting network and the B-tree run a fixed amount
+// of work under injected message loss / duplication and must produce exactly
+// the application-level results of the fault-free run — the reliable
+// transport makes faults a performance event, never a semantics event.
+// Fault-path counters are asserted nonzero so a silently-ineffective
+// injector cannot produce a vacuous pass, and a zero-rate plan is asserted
+// bit-identical to no plan at all (the no-overhead guarantee).
+#include <gtest/gtest.h>
+
+#include "apps/workload.h"
+
+namespace cm::apps {
+namespace {
+
+using core::Mechanism;
+using core::Scheme;
+
+net::FaultPlan loss_plan(double rate) {
+  net::FaultPlan plan;
+  plan.rates.drop = rate;
+  plan.rates.duplicate = rate / 2;
+  plan.rates.delay = rate;
+  plan.seed = 0xc4a05;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Counting network
+// ---------------------------------------------------------------------------
+
+CountingConfig counting_cfg(Mechanism mech) {
+  CountingConfig cfg;
+  cfg.scheme = Scheme{mech, false, false};
+  cfg.requesters = 16;
+  cfg.ops_per_requester = 25;  // fixed work: results comparable across plans
+  return cfg;
+}
+
+class CountingSoak : public ::testing::TestWithParam<double> {};
+
+TEST_P(CountingSoak, LossPreservesExactTotalsUnderMigration) {
+  const double rate = GetParam();
+  const RunStats clean = run_counting(counting_cfg(Mechanism::kMigration));
+
+  CountingConfig chaos = counting_cfg(Mechanism::kMigration);
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_counting(chaos);
+
+  // Exact application-level equivalence.
+  EXPECT_EQ(faulty.total_exited, clean.total_exited);
+  EXPECT_EQ(faulty.total_exited, 16 * 25);
+  EXPECT_TRUE(faulty.step_property);
+  EXPECT_TRUE(clean.step_property);
+
+  // The fault path was genuinely exercised.
+  EXPECT_GT(faulty.net.faults_dropped, 0u);
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_GT(faulty.runtime.dedup_hits, 0u);
+  EXPECT_EQ(faulty.runtime.stale_deliveries, 0u);  // nothing gave up
+  // Reliability costs time and messages; it must not cost correctness.
+  EXPECT_GT(faulty.completed_at, clean.completed_at);
+}
+
+TEST_P(CountingSoak, LossPreservesExactTotalsUnderRpc) {
+  const double rate = GetParam();
+  const RunStats clean = run_counting(counting_cfg(Mechanism::kRpc));
+
+  CountingConfig chaos = counting_cfg(Mechanism::kRpc);
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_counting(chaos);
+
+  EXPECT_EQ(faulty.total_exited, clean.total_exited);
+  EXPECT_TRUE(faulty.step_property);
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_GT(faulty.runtime.dedup_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, CountingSoak,
+                         ::testing::Values(0.01, 0.05));
+
+TEST(CountingSoak, ZeroRatePlanIsBitIdenticalToNoPlan) {
+  const RunStats plain = run_counting(counting_cfg(Mechanism::kMigration));
+
+  CountingConfig zero = counting_cfg(Mechanism::kMigration);
+  zero.faults = net::FaultPlan{};  // inactive: no wrapper, no reliability
+  const RunStats gated = run_counting(zero);
+
+  EXPECT_EQ(gated.completed_at, plain.completed_at);
+  EXPECT_EQ(gated.net.messages, plain.net.messages);
+  EXPECT_EQ(gated.net.words, plain.net.words);
+  EXPECT_EQ(gated.total_exited, plain.total_exited);
+  EXPECT_EQ(gated.runtime.breakdown.total(), plain.runtime.breakdown.total());
+  EXPECT_EQ(gated.runtime.reliable_sends, 0u);
+  EXPECT_EQ(gated.runtime.acks_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// B-tree
+// ---------------------------------------------------------------------------
+
+BTreeConfig btree_cfg(Mechanism mech) {
+  BTreeConfig cfg;
+  cfg.scheme = Scheme{mech, false, false};
+  cfg.requesters = 8;
+  cfg.nkeys = 1000;
+  cfg.max_entries = 20;  // a few levels even at 1000 keys
+  cfg.ops_per_requester = 25;
+  return cfg;
+}
+
+class BTreeSoak : public ::testing::TestWithParam<double> {};
+
+TEST_P(BTreeSoak, LossPreservesExactContentsUnderMigration) {
+  const double rate = GetParam();
+  const RunStats clean = run_btree(btree_cfg(Mechanism::kMigration));
+
+  BTreeConfig chaos = btree_cfg(Mechanism::kMigration);
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_btree(chaos);
+
+  // The stored key/value contents are exactly those of the fault-free run:
+  // the op streams are fixed per requester, inserts are idempotent
+  // (insert(k, k)), and the reliable layer delivers each effect once.
+  EXPECT_EQ(faulty.btree_keys, clean.btree_keys);
+  EXPECT_EQ(faulty.btree_digest, clean.btree_digest);
+  EXPECT_TRUE(faulty.invariants_ok);
+  EXPECT_TRUE(clean.invariants_ok);
+
+  EXPECT_GT(faulty.net.faults_dropped, 0u);
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_GT(faulty.runtime.dedup_hits, 0u);
+}
+
+TEST_P(BTreeSoak, LossPreservesExactContentsUnderRpc) {
+  const double rate = GetParam();
+  const RunStats clean = run_btree(btree_cfg(Mechanism::kRpc));
+
+  BTreeConfig chaos = btree_cfg(Mechanism::kRpc);
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_btree(chaos);
+
+  EXPECT_EQ(faulty.btree_keys, clean.btree_keys);
+  EXPECT_EQ(faulty.btree_digest, clean.btree_digest);
+  EXPECT_TRUE(faulty.invariants_ok);
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, BTreeSoak, ::testing::Values(0.01, 0.05));
+
+TEST(BTreeSoak, ZeroRatePlanIsBitIdenticalToNoPlan) {
+  const RunStats plain = run_btree(btree_cfg(Mechanism::kMigration));
+
+  BTreeConfig zero = btree_cfg(Mechanism::kMigration);
+  zero.faults = net::FaultPlan{};
+  const RunStats gated = run_btree(zero);
+
+  EXPECT_EQ(gated.completed_at, plain.completed_at);
+  EXPECT_EQ(gated.net.messages, plain.net.messages);
+  EXPECT_EQ(gated.net.words, plain.net.words);
+  EXPECT_EQ(gated.btree_digest, plain.btree_digest);
+  EXPECT_EQ(gated.runtime.breakdown.total(), plain.runtime.breakdown.total());
+  EXPECT_EQ(gated.runtime.reliable_sends, 0u);
+}
+
+TEST(BTreeSoak, MigrationFallbackInsideFaultWindowStillCorrect) {
+  // Brutal loss confined to a window: MOVEs that exhaust their budget fall
+  // back to RPC at the object's home, and the final contents still match.
+  const RunStats clean = run_btree(btree_cfg(Mechanism::kMigration));
+
+  BTreeConfig chaos = btree_cfg(Mechanism::kMigration);
+  chaos.faults.rates.drop = 0.9;
+  chaos.faults.window_start = 0;
+  chaos.faults.window_end = 40'000;
+  chaos.faults.seed = 99;
+  chaos.reliable.base_timeout = 200;
+  chaos.reliable.move_retry_budget = 2;
+  const RunStats faulty = run_btree(chaos);
+
+  EXPECT_EQ(faulty.btree_keys, clean.btree_keys);
+  EXPECT_EQ(faulty.btree_digest, clean.btree_digest);
+  EXPECT_TRUE(faulty.invariants_ok);
+  EXPECT_GT(faulty.runtime.migration_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace cm::apps

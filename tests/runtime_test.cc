@@ -238,6 +238,79 @@ TEST(Runtime, ReturnHomeIsFreeWhenNeverMigrated) {
   EXPECT_EQ(w.net.stats().messages, 0u);
 }
 
+// A multi-hop activation pays one message per hop plus ONE short-circuit
+// return from its final location — intermediate processors never relay.
+Task<> multi_hop_then_home(World* w, ObjectId first, ObjectId second,
+                           ProcId* end) {
+  Ctx ctx{&w->rt, 0};
+  co_await w->rt.migrate(ctx, first, 8);
+  co_await w->rt.migrate(ctx, second, 8);
+  co_await w->rt.return_home(ctx, 0, 2);
+  *end = ctx.proc;
+}
+
+TEST(Runtime, ReturnHomeAfterMultiHopIsOneMessage) {
+  World w(4);
+  const ObjectId first = w.objects.create(1);
+  const ObjectId second = w.objects.create(2);
+  ProcId end = 99;
+  sim::detach(multi_hop_then_home(&w, first, second, &end));
+  w.eng.run();
+  EXPECT_EQ(end, 0u);  // context re-bound to origin
+  // hop 0->1, hop 1->2, return 2->0: three messages, no relay through 1.
+  EXPECT_EQ(w.net.stats().messages, 3u);
+  EXPECT_EQ(w.rt.stats().migrations, 2u);
+  EXPECT_EQ(w.rt.stats().replies, 1u);
+}
+
+TEST(Runtime, ReturnHomeIsIdempotentAfterArrival) {
+  World w(4);
+  const ObjectId obj = w.objects.create(2);
+  sim::detach([](World* w, ObjectId obj) -> Task<> {
+    Ctx ctx{&w->rt, 0};
+    co_await w->rt.migrate(ctx, obj, 8);
+    co_await w->rt.return_home(ctx, 0, 2);
+    co_await w->rt.return_home(ctx, 0, 2);  // already home: free
+  }(&w, obj));
+  w.eng.run();
+  EXPECT_EQ(w.net.stats().messages, 2u);  // hop + one return only
+  EXPECT_EQ(w.rt.stats().replies, 1u);
+}
+
+TEST(Runtime, EmptyGroupMigrationIsANoOp) {
+  World w(4);
+  const ObjectId obj = w.objects.create(3);
+  sim::detach([](World* w, ObjectId obj) -> Task<> {
+    std::vector<Ctx*> group;
+    co_await w->rt.migrate_group(group, obj, 20);
+  }(&w, obj));
+  w.eng.run();
+  EXPECT_EQ(w.net.stats().messages, 0u);
+  EXPECT_EQ(w.rt.stats().migrations, 0u);
+  EXPECT_EQ(w.rt.stats().migrations_local, 0u);
+}
+
+TEST(Runtime, GroupMigrationToLocalObjectIsFree) {
+  World w(4);
+  const ObjectId obj = w.objects.create(0);
+  ProcId a_end = 99, b_end = 99;
+  sim::detach([](World* w, ObjectId obj, ProcId* a_end,
+                 ProcId* b_end) -> Task<> {
+    Ctx a{&w->rt, 0};
+    Ctx b{&w->rt, 0};
+    std::vector<Ctx*> group{&a, &b};
+    co_await w->rt.migrate_group(group, obj, 20);
+    *a_end = a.proc;
+    *b_end = b.proc;
+  }(&w, obj, &a_end, &b_end));
+  w.eng.run();
+  EXPECT_EQ(a_end, 0u);
+  EXPECT_EQ(b_end, 0u);
+  EXPECT_EQ(w.net.stats().messages, 0u);
+  EXPECT_EQ(w.rt.stats().migrations_local, 1u);
+  EXPECT_EQ(w.rt.stats().migrated_words, 0u);
+}
+
 Task<> group_migrate(World* w, ObjectId obj, ProcId* a_end, ProcId* b_end) {
   Ctx a{&w->rt, 0};
   Ctx b{&w->rt, 0};

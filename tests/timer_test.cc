@@ -1,0 +1,69 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace cm::sim {
+namespace {
+
+TEST(Timer, FiresAtDeadline) {
+  Engine eng;
+  Timer t(eng);
+  Cycles fired_at = 0;
+  t.arm(50, [&] { fired_at = eng.now(); });
+  EXPECT_TRUE(t.armed());
+  eng.run();
+  EXPECT_EQ(fired_at, 50u);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, CancelSuppressesPendingFire) {
+  Engine eng;
+  Timer t(eng);
+  bool fired = false;
+  t.arm(50, [&] { fired = true; });
+  eng.at(10, [&] { t.cancel(); });
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(eng.now(), 50u);  // the defused event still drained
+}
+
+TEST(Timer, RearmSupersedesEarlierArm) {
+  Engine eng;
+  Timer t(eng);
+  int which = 0;
+  t.arm(50, [&] { which = 1; });
+  eng.at(10, [&] { t.arm(100, [&] { which = 2; }); });
+  eng.run();
+  EXPECT_EQ(which, 2);  // only the newest arming fires
+}
+
+TEST(Timer, RearmFromCallbackChains) {
+  Engine eng;
+  Timer t(eng);
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) t.arm(20, tick);
+  };
+  t.arm(20, tick);
+  eng.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(eng.now(), 60u);
+}
+
+TEST(Timer, SafeToDestroyWhileArmed) {
+  Engine eng;
+  bool fired = false;
+  {
+    Timer t(eng);
+    t.arm(50, [&] { fired = true; });
+  }  // Timer gone; the queued event must not crash
+  eng.run();
+  // The control block survives via shared_ptr, so the callback still runs.
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace cm::sim
