@@ -7,14 +7,17 @@
 // paper's "changes only performance, never semantics" claim extended to a
 // lossy network.
 //
-// Output: a human-readable table on stdout plus a JSON dump (default
-// ablation_faults.json, or the path given as argv[1]) carrying the full
-// fault and reliability counters for downstream tooling.
+// Output: a human-readable table on stdout plus a JSON dump in the unified
+// metrics schema (default ablation_faults.json, or the path given as
+// argv[1]) carrying the full fault and reliability counters for downstream
+// tooling. An optional argv[2] names a Chrome trace-event file recorded for
+// one representative chaos run (counting / CP at the highest loss rate).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "apps/workload.h"
+#include "core/metrics.h"
 
 using namespace cm;
 using core::Mechanism;
@@ -40,12 +43,14 @@ struct Row {
   apps::RunStats r;
 };
 
-apps::RunStats counting_at(Mechanism mech, double rate) {
+apps::RunStats counting_at(Mechanism mech, double rate,
+                           std::string trace_path = {}) {
   apps::CountingConfig cfg;
   cfg.scheme = Scheme{mech, false, false};
   cfg.requesters = 16;
   cfg.ops_per_requester = 50;
   cfg.faults = loss_plan(rate);
+  cfg.trace_path = std::move(trace_path);
   return run_counting(cfg);
 }
 
@@ -86,53 +91,21 @@ void print_table(const std::vector<Row>& rows) {
 }
 
 void write_json(const char* path, const std::vector<Row>& rows) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
+  core::MetricsRegistry reg;
+  for (const Row& row : rows) {
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/%s/loss=%g", row.workload,
+                  row.mechanism, row.rate);
+    core::Metrics& m = reg.record(label);
+    m.put("workload", row.workload);
+    m.put("mechanism", row.mechanism);
+    m.put("loss_rate", row.rate);
+    apps::put_run_stats(m, row.r);
+  }
+  if (!reg.write_json(path)) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    const core::RtStats& rt = row.r.runtime;
-    const net::NetStats& nt = row.r.net;
-    std::fprintf(
-        f,
-        "  {\"workload\": \"%s\", \"mechanism\": \"%s\", \"loss_rate\": %g,\n"
-        "   \"completed_at\": %llu, \"messages\": %llu, \"words\": %llu,\n"
-        "   \"faults\": {\"dropped\": %llu, \"duplicated\": %llu,"
-        " \"delayed\": %llu, \"nic_dropped\": %llu},\n"
-        "   \"reliability\": {\"reliable_sends\": %llu, \"retransmits\": %llu,"
-        " \"timeouts_fired\": %llu, \"acks_sent\": %llu,"
-        " \"dedup_hits\": %llu, \"stale_deliveries\": %llu,"
-        " \"delivery_failures\": %llu, \"migration_fallbacks\": %llu},\n"
-        "   \"result\": {\"total_exited\": %ld, \"step_property\": %s,"
-        " \"btree_keys\": %llu, \"btree_digest\": \"%016llx\","
-        " \"invariants_ok\": %s}}%s\n",
-        row.workload, row.mechanism, row.rate,
-        static_cast<unsigned long long>(row.r.completed_at),
-        static_cast<unsigned long long>(nt.messages),
-        static_cast<unsigned long long>(nt.words),
-        static_cast<unsigned long long>(nt.faults_dropped),
-        static_cast<unsigned long long>(nt.faults_duplicated),
-        static_cast<unsigned long long>(nt.faults_delayed),
-        static_cast<unsigned long long>(nt.faults_nic_dropped),
-        static_cast<unsigned long long>(rt.reliable_sends),
-        static_cast<unsigned long long>(rt.retransmits),
-        static_cast<unsigned long long>(rt.timeouts_fired),
-        static_cast<unsigned long long>(rt.acks_sent),
-        static_cast<unsigned long long>(rt.dedup_hits),
-        static_cast<unsigned long long>(rt.stale_deliveries),
-        static_cast<unsigned long long>(rt.delivery_failures),
-        static_cast<unsigned long long>(rt.migration_fallbacks),
-        row.r.total_exited, row.r.step_property ? "true" : "false",
-        static_cast<unsigned long long>(row.r.btree_keys),
-        static_cast<unsigned long long>(row.r.btree_digest),
-        row.r.invariants_ok ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
 
@@ -144,10 +117,13 @@ int main(int argc, char** argv) {
               " ops, 1000 keys\n");
   std::printf("plan: drop = rate, duplicate = rate/2, delay = rate\n\n");
 
+  const char* trace_path = argc > 2 ? argv[2] : "";
+  const double max_rate = kRates[std::size(kRates) - 1];
   std::vector<Row> rows;
   for (const double rate : kRates) {
-    rows.push_back({"counting", "CP", rate, counting_at(Mechanism::kMigration,
-                                                        rate)});
+    rows.push_back({"counting", "CP", rate,
+                    counting_at(Mechanism::kMigration, rate,
+                                rate == max_rate ? trace_path : "")});
     rows.push_back({"counting", "RPC", rate, counting_at(Mechanism::kRpc,
                                                          rate)});
     rows.push_back({"btree", "CP", rate, btree_at(Mechanism::kMigration,

@@ -3,9 +3,13 @@
 // and 0 cycles. Series: shared memory, computation migration w/ and w/o
 // hardware support, RPC w/ and w/o hardware support — exactly the paper's
 // legend.
+//
+// Optional argv[1]: write every run's full counter set as unified-schema
+// JSON (stdout is unchanged either way).
 #include <cstdio>
 
 #include "apps/workload.h"
+#include "core/metrics.h"
 
 using cm::apps::CountingConfig;
 using cm::apps::RunStats;
@@ -23,7 +27,7 @@ const Scheme kSeries[] = {
     {Mechanism::kRpc, false, false},
 };
 
-void run_panel(cm::sim::Cycles think) {
+void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg) {
   std::printf("\n-- think time %llu cycles --\n",
               static_cast<unsigned long long>(think));
   std::printf("%-10s", "threads");
@@ -39,6 +43,14 @@ void run_panel(cm::sim::Cycles think) {
       cfg.window = Window{30'000, 200'000};
       const RunStats r = run_counting(cfg);
       std::printf("%14.3f", r.throughput_per_1000());
+      if (reg != nullptr) {
+        char label[64];
+        std::snprintf(label, sizeof label, "think=%llu/threads=%u/%s",
+                      static_cast<unsigned long long>(think), n,
+                      s.name().c_str());
+        cm::core::Metrics& m = reg->record(label);
+        put_run_stats(m, r);
+      }
     }
     std::printf("\n");
   }
@@ -46,15 +58,25 @@ void run_panel(cm::sim::Cycles think) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::core::MetricsRegistry reg;
+  const char* json_path = argc > 1 ? argv[1] : nullptr;
   std::printf("Figure 2: counting-network throughput (requests/1000 cycles)\n");
   std::printf("8x8 bitonic network, 24 balancers on 24 processors; each\n");
   std::printf("requester on its own processor.\n");
-  run_panel(10'000);
-  run_panel(0);
+  run_panel(10'000, json_path != nullptr ? &reg : nullptr);
+  run_panel(0, json_path != nullptr ? &reg : nullptr);
   std::printf(
       "\nPaper shape: all series rise with threads; SM and CM w/HW lead (CM\n"
       "w/HW competitive with SM at high contention); CM above RPC\n"
       "everywhere; hardware support helps both message-passing schemes.\n");
+  if (json_path != nullptr) {
+    if (reg.write_json(json_path)) {
+      std::fprintf(stderr, "wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+  }
   return 0;
 }

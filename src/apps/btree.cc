@@ -305,6 +305,10 @@ sim::Task<> DistributedBTree::approach(Ctx& ctx, Mechanism mech,
 
 sim::Task<DistributedBTree::Step> DistributedBTree::visit_node(
     Ctx& ctx, Mechanism mech, std::uint32_t nid, std::uint64_t key) {
+  if (sim::Tracer* tr = rt_->tracer()) {
+    tr->record(sim::TraceEvent::kBTreeNodeVisit, ctx.proc,
+               {{"node", nid}, {"level", nodes_[nid].level}});
+  }
   if (mech == Mechanism::kSharedMemory) {
     co_await charge_search(ctx, mech, nid, /*optimistic=*/true);
     co_return search_step(nodes_[nid], key);

@@ -163,6 +163,10 @@ sim::Task<int> CountingNetwork::visit_balancer(core::Ctx& ctx,
                                                core::Mechanism mech,
                                                unsigned b) {
   BalancerRt& rtb = brt_[b];
+  if (sim::Tracer* tr = rt_->tracer()) {
+    tr->record(sim::TraceEvent::kBalancerVisit, ctx.proc,
+               {{"balancer", b}, {"stage", wiring_.balancers[b].stage}});
+  }
   switch (mech) {
     case core::Mechanism::kSharedMemory: {
       // A balancer is a lock-protected record: acquire its spin lock (the

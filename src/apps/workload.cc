@@ -1,5 +1,7 @@
 #include "apps/workload.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "sim/machine.h"
 #include "sim/rng.h"
 #include "sim/task.h"
+#include "sim/tracer.h"
 
 namespace cm::apps {
 
@@ -27,7 +30,12 @@ using sim::Cycles;
 using sim::ProcId;
 using sim::Task;
 
-/// Shared control block for a measurement run.
+/// Shared control block for a measurement run. The measurement window is
+/// half-open, [warm_at, end_at), for BOTH the op counter and the traffic
+/// snapshots: the warm/end snapshot events are scheduled at setup time, so
+/// they run before any same-cycle runtime event (the engine breaks timestamp
+/// ties by creation order) — an op or word landing exactly on a boundary
+/// cycle is therefore counted by exactly one window.
 struct RunCtl {
   bool stop = false;
   Cycles warm_at = 0;
@@ -35,10 +43,12 @@ struct RunCtl {
   long ops = 0;
   std::uint64_t words_at_warm = 0;
   std::uint64_t msgs_at_warm = 0;
+  std::uint64_t words_at_end = 0;
+  std::uint64_t msgs_at_end = 0;
 };
 
 void count_op(RunCtl& ctl, Cycles now) {
-  if (now > ctl.warm_at && now <= ctl.end_at) ++ctl.ops;
+  if (now >= ctl.warm_at && now < ctl.end_at) ++ctl.ops;
 }
 
 Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
@@ -82,6 +92,11 @@ Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
 
 RunStats run_counting(const CountingConfig& cfg) {
   sim::Engine eng;
+  std::unique_ptr<sim::Tracer> tracer;
+  if (!cfg.trace_path.empty()) {
+    tracer = std::make_unique<sim::Tracer>(eng);
+    eng.set_tracer(tracer.get());
+  }
   CountingNetwork::Params np;
   np.width = cfg.width;
   np.first_balancer_proc = 0;
@@ -132,15 +147,21 @@ RunStats run_counting(const CountingConfig& cfg) {
       ctl.words_at_warm = network.stats().words;
       ctl.msgs_at_warm = network.stats().messages;
     });
-    eng.at(ctl.end_at, [&] { ctl.stop = true; });
+    eng.at(ctl.end_at, [&] {
+      ctl.words_at_end = network.stats().words;
+      ctl.msgs_at_end = network.stats().messages;
+      ctl.stop = true;
+    });
   }
   eng.run();
 
   RunStats out;
   out.ops = ctl.ops;
   out.window = fixed ? eng.now() : cfg.window.measure;
-  out.words = network.stats().words - ctl.words_at_warm;
-  out.messages = network.stats().messages - ctl.msgs_at_warm;
+  out.words = (fixed ? network.stats().words : ctl.words_at_end) -
+              ctl.words_at_warm;
+  out.messages = (fixed ? network.stats().messages : ctl.msgs_at_end) -
+                 ctl.msgs_at_warm;
   if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
   out.migrations = rt.stats().migrations;
   out.remote_calls = rt.stats().remote_calls;
@@ -149,11 +170,19 @@ RunStats run_counting(const CountingConfig& cfg) {
   out.completed_at = eng.now();
   out.total_exited = cn.total_exited();
   out.step_property = cn.has_step_property();
+  if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
+    out.trace_path = cfg.trace_path;
+  }
   return out;
 }
 
 RunStats run_btree(const BTreeConfig& cfg) {
   sim::Engine eng;
+  std::unique_ptr<sim::Tracer> tracer;
+  if (!cfg.trace_path.empty()) {
+    tracer = std::make_unique<sim::Tracer>(eng);
+    eng.set_tracer(tracer.get());
+  }
   const auto nprocs = static_cast<ProcId>(cfg.node_procs + cfg.requesters);
   sim::Machine machine(eng, nprocs);
   net::ConstantNetwork constant_net(eng);
@@ -207,15 +236,21 @@ RunStats run_btree(const BTreeConfig& cfg) {
       ctl.words_at_warm = network.stats().words;
       ctl.msgs_at_warm = network.stats().messages;
     });
-    eng.at(ctl.end_at, [&] { ctl.stop = true; });
+    eng.at(ctl.end_at, [&] {
+      ctl.words_at_end = network.stats().words;
+      ctl.msgs_at_end = network.stats().messages;
+      ctl.stop = true;
+    });
   }
   eng.run();
 
   RunStats out;
   out.ops = ctl.ops;
   out.window = fixed ? eng.now() : cfg.window.measure;
-  out.words = network.stats().words - ctl.words_at_warm;
-  out.messages = network.stats().messages - ctl.msgs_at_warm;
+  out.words = (fixed ? network.stats().words : ctl.words_at_end) -
+              ctl.words_at_warm;
+  out.messages = (fixed ? network.stats().messages : ctl.msgs_at_end) -
+                 ctl.msgs_at_warm;
   if (mem != nullptr) out.cache_hit_rate = mem->stats().hit_rate();
   out.migrations = rt.stats().migrations;
   out.remote_calls = rt.stats().remote_calls;
@@ -225,7 +260,31 @@ RunStats run_btree(const BTreeConfig& cfg) {
   out.btree_keys = bt.num_keys();
   out.btree_digest = bt.digest_host();
   out.invariants_ok = bt.check_invariants();
+  if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
+    out.trace_path = cfg.trace_path;
+  }
   return out;
+}
+
+void put_run_stats(core::Metrics& m, const RunStats& s) {
+  m.put("ops", s.ops);
+  m.put("window", s.window);
+  m.put("words", s.words);
+  m.put("messages", s.messages);
+  m.put("throughput_per_1000", s.throughput_per_1000());
+  m.put("words_per_10", s.words_per_10());
+  m.put("cache_hit_rate", s.cache_hit_rate);
+  m.put("completed_at", s.completed_at);
+  m.put("total_exited", s.total_exited);
+  m.put("step_property", s.step_property);
+  m.put("btree_keys", static_cast<std::uint64_t>(s.btree_keys));
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "0x%016" PRIx64, s.btree_digest);
+  m.put("btree_digest", digest);
+  m.put("invariants_ok", s.invariants_ok);
+  if (!s.trace_path.empty()) m.put("trace", s.trace_path);
+  core::put_rt_stats(m, s.runtime);
+  core::put_net_stats(m, s.net);
 }
 
 }  // namespace cm::apps

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/mechanism.h"
+#include "core/metrics.h"
 #include "core/reliable.h"
 #include "core/stats.h"
 #include "net/faulty_net.h"
@@ -45,6 +47,8 @@ struct RunStats {
   std::size_t btree_keys = 0;      // B-tree: number of stored keys
   std::uint64_t btree_digest = 0;  // B-tree: digest of (key, value) pairs
   bool invariants_ok = false;      // B-tree: structural invariants hold
+
+  std::string trace_path;  // Chrome trace written for this run ("" = none)
 
   [[nodiscard]] double throughput_per_1000() const {
     return window == 0 ? 0.0
@@ -83,6 +87,10 @@ struct CountingConfig {
   // window is ignored). Application-level end state is then comparable
   // across fault plans.
   long ops_per_requester = 0;
+  // Non-empty: install a sim::Tracer and write a Chrome trace-event JSON
+  // here after the run. Empty (default): no tracer is installed and the
+  // simulation is bit-identical to a build without tracing.
+  std::string trace_path;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -100,12 +108,19 @@ struct BTreeConfig {
   Window window{};
   std::uint64_t seed = 1;
 
-  // Chaos mode + fixed-work mode; see CountingConfig.
+  // Chaos mode + fixed-work mode + tracing; see CountingConfig.
   net::FaultPlan faults;
   core::ReliableConfig reliable;
   long ops_per_requester = 0;
+  std::string trace_path;
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);
+
+/// Export a run under the unified metrics schema: run-level metrics first
+/// (ops, window, derived rates, app end state), then the full "rt.",
+/// "breakdown." and "net." counter sets. Every benchmark goes through this
+/// one function, so all emitted JSON records have the same shape.
+void put_run_stats(core::Metrics& m, const RunStats& s);
 
 }  // namespace cm::apps

@@ -1,0 +1,161 @@
+#include "core/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cm::core {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const Metrics::Value& v) {
+  char buf[64];
+  if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64, *u);
+    out += buf;
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, *i);
+    out += buf;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    // %.17g round-trips every finite double exactly.
+    std::snprintf(buf, sizeof buf, "%.17g", *d);
+    out += buf;
+  } else if (const auto* b = std::get_if<bool>(&v)) {
+    out += *b ? "true" : "false";
+  } else {
+    append_escaped(out, std::get<std::string>(v));
+  }
+}
+
+/// "Procedure linkage (recv)" -> "procedure_linkage_recv": JSON keys stay
+/// machine-friendly while category_name stays human-friendly.
+std::string slug(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+void Metrics::append_json_fields(std::string& out) const {
+  bool first = true;
+  for (const auto& [key, value] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, key);
+    out += ": ";
+    append_value(out, value);
+  }
+}
+
+Metrics& MetricsRegistry::record(std::string label) {
+  records_.emplace_back(std::move(label), Metrics{});
+  return records_.back().second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "[\n";
+  bool first = true;
+  for (const auto& [label, metrics] : records_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"label\": ";
+    append_escaped(out, label);
+    if (metrics.size() != 0) {
+      out += ", ";
+      metrics.append_json_fields(out);
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+void put_breakdown(Metrics& m, const Breakdown& b) {
+  for (unsigned c = 0; c < static_cast<unsigned>(Category::kCount); ++c) {
+    m.put("breakdown." + slug(category_name(static_cast<Category>(c))),
+          b.cycles[c]);
+  }
+  m.put("breakdown.total", b.total());
+  m.put("breakdown.overhead", b.overhead());
+}
+
+void put_rt_stats(Metrics& m, const RtStats& s) {
+  m.put("rt.local_calls", s.local_calls);
+  m.put("rt.remote_calls", s.remote_calls);
+  m.put("rt.fast_path_calls", s.fast_path_calls);
+  m.put("rt.threads_created", s.threads_created);
+  m.put("rt.migrations", s.migrations);
+  m.put("rt.migrations_local", s.migrations_local);
+  m.put("rt.migrated_words", s.migrated_words);
+  m.put("rt.replies", s.replies);
+  m.put("rt.replica_hits", s.replica_hits);
+  m.put("rt.replica_fetches", s.replica_fetches);
+  m.put("rt.replica_invalidations", s.replica_invalidations);
+  m.put("rt.object_moves", s.object_moves);
+  m.put("rt.moved_object_words", s.moved_object_words);
+  m.put("rt.reliable_sends", s.reliable_sends);
+  m.put("rt.retransmits", s.retransmits);
+  m.put("rt.timeouts_fired", s.timeouts_fired);
+  m.put("rt.acks_sent", s.acks_sent);
+  m.put("rt.dedup_hits", s.dedup_hits);
+  m.put("rt.stale_deliveries", s.stale_deliveries);
+  m.put("rt.delivery_failures", s.delivery_failures);
+  m.put("rt.migration_fallbacks", s.migration_fallbacks);
+  put_breakdown(m, s.breakdown);
+}
+
+void put_net_stats(Metrics& m, const net::NetStats& s) {
+  m.put("net.messages", s.messages);
+  m.put("net.words", s.words);
+  m.put("net.runtime_messages", s.runtime_messages);
+  m.put("net.runtime_words", s.runtime_words);
+  m.put("net.coherence_messages", s.coherence_messages);
+  m.put("net.coherence_words", s.coherence_words);
+  m.put("net.faults_dropped", s.faults_dropped);
+  m.put("net.faults_duplicated", s.faults_duplicated);
+  m.put("net.faults_delayed", s.faults_delayed);
+  m.put("net.faults_nic_dropped", s.faults_nic_dropped);
+}
+
+}  // namespace cm::core

@@ -1,0 +1,79 @@
+// Unified metrics export: every benchmark emits the same flat JSON schema
+// (runtime counters under "rt.", traffic counters under "net.", the Table-5
+// cycle breakdown under "breakdown.") instead of growing its own ad-hoc
+// write_json. A Metrics object is an ordered list of key -> scalar records;
+// a MetricsRegistry is a labelled collection of them, serialised as a JSON
+// array of flat objects so downstream tooling can diff/plot runs uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/stats.h"
+#include "net/network.h"
+
+namespace cm::core {
+
+/// One flat record of scalar metrics, serialised in insertion order.
+class Metrics {
+ public:
+  using Value =
+      std::variant<std::uint64_t, std::int64_t, double, bool, std::string>;
+
+  void put(std::string key, std::uint64_t v) { emplace(std::move(key), v); }
+  void put(std::string key, std::int64_t v) { emplace(std::move(key), v); }
+  void put(std::string key, double v) { emplace(std::move(key), v); }
+  void put(std::string key, bool v) { emplace(std::move(key), v); }
+  void put(std::string key, std::string v) {
+    emplace(std::move(key), std::move(v));
+  }
+  void put(std::string key, const char* v) {
+    emplace(std::move(key), std::string(v));
+  }
+  void put(std::string key, unsigned v) {
+    put(std::move(key), static_cast<std::uint64_t>(v));
+  }
+  void put(std::string key, int v) {
+    put(std::move(key), static_cast<std::int64_t>(v));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Append this record's key/value pairs (no surrounding braces) to `out`.
+  void append_json_fields(std::string& out) const;
+
+ private:
+  void emplace(std::string key, Value v) {
+    entries_.emplace_back(std::move(key), std::move(v));
+  }
+
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// A labelled collection of Metrics records: one JSON array, one object per
+/// record, "label" first then the record's keys in insertion order.
+class MetricsRegistry {
+ public:
+  /// Start a new record; the reference stays valid until the next record().
+  Metrics& record(std::string label);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, Metrics>> records_;
+};
+
+/// Schema helpers: the one place the exported key set is defined.
+void put_rt_stats(Metrics& m, const RtStats& s);          // "rt." + breakdown
+void put_net_stats(Metrics& m, const net::NetStats& s);   // "net."
+void put_breakdown(Metrics& m, const Breakdown& b);       // "breakdown."
+
+}  // namespace cm::core

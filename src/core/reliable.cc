@@ -5,6 +5,7 @@
 
 #include "sim/task.h"
 #include "sim/timer.h"
+#include "sim/tracer.h"
 
 namespace cm::core {
 
@@ -51,6 +52,10 @@ void ReliableTransport::attempt(const std::shared_ptr<SendState>& st) {
   ++st->attempts;
   if (st->attempts > 1) {
     ++stats_->retransmits;
+    if (sim::Tracer* tr = engine_->tracer()) {
+      tr->record(sim::TraceEvent::kRetransmit, st->src,
+                 {{"dst", st->dst}, {"seq", st->seq}, {"attempt", st->attempts}});
+    }
     // The retransmitted copy's wire time is real overhead the fault-free
     // figures never pay; account it like any other transit.
     stats_->breakdown.add(Category::kNetworkTransit,
@@ -63,7 +68,13 @@ void ReliableTransport::attempt(const std::shared_ptr<SendState>& st) {
 
 void ReliableTransport::on_data(const std::shared_ptr<SendState>& st) {
   const bool fresh = channel(st->src, st->dst).delivered.insert(st->seq).second;
-  if (!fresh) ++stats_->dedup_hits;
+  if (!fresh) {
+    ++stats_->dedup_hits;
+    if (sim::Tracer* tr = engine_->tracer()) {
+      tr->record(sim::TraceEvent::kDedup, st->dst,
+                 {{"src", st->src}, {"seq", st->seq}});
+    }
+  }
   // Ack every copy: the ack for an earlier copy may itself have been lost.
   ++stats_->acks_sent;
   network_->send(st->dst, st->src, cfg_.ack_words, net::Traffic::kRuntime,
@@ -87,6 +98,10 @@ void ReliableTransport::on_data(const std::shared_ptr<SendState>& st) {
 void ReliableTransport::on_timeout(const std::shared_ptr<SendState>& st) {
   if (st->acked) return;
   ++stats_->timeouts_fired;
+  if (sim::Tracer* tr = engine_->tracer()) {
+    tr->record(sim::TraceEvent::kTimeout, st->src,
+               {{"dst", st->dst}, {"seq", st->seq}});
+  }
   if (st->budget != 0 && st->attempts >= st->budget) {
     ++stats_->delivery_failures;
     if (!st->done) {

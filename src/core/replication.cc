@@ -22,6 +22,10 @@ sim::Task<> Replicated::ensure(Ctx& ctx) {
     co_return;
   }
   ++rt_->mutable_stats().replica_fetches;
+  if (sim::Tracer* tr = rt_->tracer()) {
+    tr->record(sim::TraceEvent::kReplicaFetch, p,
+               {{"obj", primary_}, {"home", home_}});
+  }
 
   const CostModel& c = rt_->cost();
   // Fetch request (short message) ...
@@ -55,6 +59,10 @@ sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
   }
   if (targets.empty()) co_return;
   rt_->mutable_stats().replica_invalidations += targets.size();
+  if (sim::Tracer* tr = rt_->tracer()) {
+    tr->record(sim::TraceEvent::kReplicaInvalidate, ctx.proc,
+               {{"obj", primary_}, {"count", targets.size()}});
+  }
 
   // Broadcast invalidations from the writer's processor and gather acks.
   auto remaining = std::make_shared<int>(static_cast<int>(targets.size()));

@@ -11,6 +11,12 @@ namespace cm::core {
 sim::Task<> Runtime::receive_request(ProcId at, unsigned words,
                                      Dispatch how) {
   const bool create_thread = how != Dispatch::kShortMethod;
+  if (create_thread) {
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kThreadCreate, at,
+                 {{"continuation", how == Dispatch::kContinuation}});
+    }
+  }
   Breakdown& bd = stats_.breakdown;
   bd.add(Category::kCopyPacket, cost_.copy(words));
   bd.add(Category::kRecvAllocPacket, cost_.alloc_packet_recv());
@@ -75,6 +81,11 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   // and launch a single message. (§3.2: "the continuation procedure's body
   // is the continuation of the migrating procedure at the point of
   // migration; its arguments are the live variables at that point".)
+  const ProcId from = ctx.proc;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kMigrateBegin, from,
+               {{"obj", obj}, {"dest", dest}, {"words", live_words}});
+  }
   co_await send_path(ctx.proc, live_words);
   const bool moved =
       co_await transfer_impl(ctx.proc, dest, live_words,
@@ -86,6 +97,10 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
     // performance, never semantics, even on a faulty network. A late copy
     // of the MOVE is discarded at the destination by the reliable layer.
     ++stats_.migration_fallbacks;
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kMigrateFallback, from,
+                 {{"obj", obj}, {"dest", dest}});
+    }
     co_return;
   }
   ++stats_.migrations;
@@ -97,6 +112,10 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   // with the message), so the eventual return short-circuits.
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
   ++stats_.threads_created;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kMigrateArrive, dest,
+               {{"obj", obj}, {"from", from}, {"words", live_words}});
+  }
 
   // The activation now runs at the data.
   ctx.proc = dest;
@@ -105,6 +124,10 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
 sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
   if (ctx.proc == origin) co_return;
   ++stats_.replies;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kShortCircuitReply, ctx.proc,
+               {{"origin", origin}, {"words", ret_words}});
+  }
   co_await send_path(ctx.proc, ret_words);
   co_await transfer(ctx.proc, origin, ret_words);
   co_await receive_reply(origin, ret_words);
@@ -125,6 +148,14 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
   // One message carries the live words of every activation in the group;
   // marshaling/unmarshaling scale with the total, but the fixed per-message
   // costs are paid once — the point of multi-activation migration.
+  const ProcId from = top.proc;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kMigrateBegin, from,
+               {{"obj", obj},
+                {"dest", dest},
+                {"words", live_words},
+                {"group", group.size()}});
+  }
   co_await send_path(top.proc, live_words);
   const bool moved =
       co_await transfer_impl(top.proc, dest, live_words,
@@ -133,12 +164,20 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
     // Same recovery as single-activation migration: the whole group stays
     // put and later accesses are plain RPCs.
     ++stats_.migration_fallbacks;
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kMigrateFallback, from,
+                 {{"obj", obj}, {"dest", dest}});
+    }
     co_return;
   }
   ++stats_.migrations;
   stats_.migrated_words += live_words;
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
   ++stats_.threads_created;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kMigrateArrive, dest,
+               {{"obj", obj}, {"from", from}, {"words", live_words}});
+  }
 
   for (Ctx* c : group) c->proc = dest;
 }

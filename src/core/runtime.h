@@ -41,6 +41,7 @@
 #include "sim/machine.h"
 #include "sim/oneshot.h"
 #include "sim/task.h"
+#include "sim/tracer.h"
 #include "sim/types.h"
 
 namespace cm::core {
@@ -81,6 +82,11 @@ class Runtime {
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
   [[nodiscard]] const RtStats& stats() const noexcept { return stats_; }
   [[nodiscard]] RtStats& mutable_stats() noexcept { return stats_; }
+
+  /// The engine's tracer, or null when tracing is disabled.
+  [[nodiscard]] sim::Tracer* tracer() const noexcept {
+    return machine_->engine().tracer();
+  }
 
   /// Charge cycles on processor `p`, attributed to `cat`.
   [[nodiscard]] auto charge(ProcId p, Cycles cycles, Category cat) {
@@ -163,6 +169,10 @@ class Runtime {
 
     // ---- client stub ----
     ++stats_.remote_calls;
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kRpcIssue, caller.proc,
+                 {{"obj", obj}, {"home", home}, {"words", opts.arg_words}});
+    }
     co_await send_path(caller.proc, opts.arg_words);
     const ProcId reply_to = caller.proc;
     co_await transfer(caller.proc, home, opts.arg_words);
@@ -188,6 +198,10 @@ class Runtime {
 
     // ---- back at the caller: deliver the reply to the blocked thread ----
     co_await receive_reply(reply_to, opts.ret_words);
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kRpcReply, reply_to,
+                 {{"obj", obj}, {"from", callee.proc}});
+    }
     co_return result;
   }
 

@@ -1,5 +1,7 @@
 #include "net/constant_net.h"
 
+#include "sim/tracer.h"
+
 namespace cm::net {
 
 void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
@@ -11,6 +13,18 @@ void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     return;
   }
   stats_.record(kind, words);
+  if (sim::Tracer* tr = engine_->tracer()) {
+    const std::uint64_t id = tr->next_msg_id();
+    tr->record(sim::TraceEvent::kMsgSend, src,
+               {{"dst", dst},
+                {"words", words},
+                {"coherence", kind == Traffic::kCoherence},
+                {"msg", id}});
+    deliver = [tr, dst, id, d = std::move(deliver)] {
+      tr->record(sim::TraceEvent::kMsgDeliver, dst, {{"msg", id}});
+      d();
+    };
+  }
   engine_->after(latency(src, dst, words), std::move(deliver));
 }
 

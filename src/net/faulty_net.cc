@@ -1,5 +1,7 @@
 #include "net/faulty_net.h"
 
+#include "sim/tracer.h"
+
 namespace cm::net {
 
 const FaultRates& FaultyNetwork::rates_for(sim::ProcId src,
@@ -26,9 +28,14 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     inner_->send(src, dst, words, kind, std::move(deliver));
     return;
   }
+  sim::Tracer* tr = engine_->tracer();
   // A fail-stopped NIC eats the message before it reaches the wire.
   if (nic_dead(src) || nic_dead(dst)) {
     ++stats_.faults_nic_dropped;
+    if (tr) {
+      tr->record(sim::TraceEvent::kFaultNicDrop, src,
+                 {{"dst", dst}, {"words", words}});
+    }
     return;
   }
   if (!in_window()) {
@@ -38,6 +45,10 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
   const FaultRates& r = rates_for(src, dst);
   if (r.drop > 0.0 && rng_.chance(r.drop)) {
     ++stats_.faults_dropped;
+    if (tr) {
+      tr->record(sim::TraceEvent::kFaultDrop, src,
+                 {{"dst", dst}, {"words", words}});
+    }
     return;
   }
   const sim::Cycles span = std::max<sim::Cycles>(plan_.max_extra_delay, 1);
@@ -46,6 +57,10 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     // copy of the delivery callback; receivers must dedup.
     ++stats_.faults_duplicated;
     const sim::Cycles extra = 1 + rng_.below(span);
+    if (tr) {
+      tr->record(sim::TraceEvent::kFaultDuplicate, src,
+                 {{"dst", dst}, {"words", words}, {"extra", extra}});
+    }
     engine_->after(extra, [this, src, dst, words, kind, deliver] {
       inner_->send(src, dst, words, kind, deliver);
     });
@@ -56,6 +71,10 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     // injection times).
     ++stats_.faults_delayed;
     const sim::Cycles extra = 1 + rng_.below(span);
+    if (tr) {
+      tr->record(sim::TraceEvent::kFaultDelay, src,
+                 {{"dst", dst}, {"words", words}, {"extra", extra}});
+    }
     engine_->after(extra,
                    [this, src, dst, words, kind,
                     d = std::move(deliver)]() mutable {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/tracer.h"
+
 namespace cm::net {
 
 MeshNetwork::MeshNetwork(sim::Engine& engine, unsigned nprocs, MeshConfig cfg)
@@ -22,8 +24,7 @@ unsigned MeshNetwork::hops(sim::ProcId src, sim::ProcId dst) const {
 }
 
 sim::Cycles MeshNetwork::route(sim::ProcId src, sim::ProcId dst,
-                               unsigned words, sim::Cycles start,
-                               bool record) {
+                               unsigned words, sim::Cycles start) {
   // Head flit time at the current node; the tail lags by words*per_word.
   sim::Cycles head = start + cfg_.launch;
   const sim::Cycles occupancy =
@@ -34,14 +35,14 @@ sim::Cycles MeshNetwork::route(sim::ProcId src, sim::ProcId dst,
 
   auto cross = [&](unsigned dir, unsigned& coord, bool forward) {
     Link& link = links_[link_index(x, y, dir)];
-    if (record && cfg_.contention) {
+    if (cfg_.contention) {
       const sim::Cycles begin = std::max(head, link.free_at);
       link.free_at = begin + occupancy;
       head = begin + cfg_.per_hop;
     } else {
       head += cfg_.per_hop;
     }
-    if (record) link.words += words;
+    link.words += words;
     coord = forward ? coord + 1 : coord - 1;
   };
 
@@ -71,16 +72,31 @@ void MeshNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     return;
   }
   stats_.record(kind, words);
-  const sim::Cycles arrive = route(src, dst, words, engine_->now(), true);
+  if (sim::Tracer* tr = engine_->tracer()) {
+    const std::uint64_t id = tr->next_msg_id();
+    tr->record(sim::TraceEvent::kMsgSend, src,
+               {{"dst", dst},
+                {"words", words},
+                {"coherence", kind == Traffic::kCoherence},
+                {"msg", id}});
+    deliver = [tr, dst, id, d = std::move(deliver)] {
+      tr->record(sim::TraceEvent::kMsgDeliver, dst, {{"msg", id}});
+      d();
+    };
+  }
+  const sim::Cycles arrive = route(src, dst, words, engine_->now());
   engine_->at(arrive, std::move(deliver));
 }
 
 sim::Cycles MeshNetwork::latency(sim::ProcId src, sim::ProcId dst,
                                  unsigned words) const {
   if (src == dst) return 0;
-  // Zero-load latency: no link occupancy updates.
-  auto* self = const_cast<MeshNetwork*>(this);
-  return self->route(src, dst, words, 0, false);
+  // Zero-load: the head pays launch plus one router delay per hop, the tail
+  // serialises behind it on the final link. Closed-form — identical to an
+  // uncontended walk of `route`, but provably side-effect-free.
+  return cfg_.launch +
+         static_cast<sim::Cycles>(cfg_.per_hop) * hops(src, dst) +
+         static_cast<sim::Cycles>(cfg_.per_word) * words;
 }
 
 std::uint64_t MeshNetwork::max_link_words() const {

@@ -58,11 +58,13 @@ class MeshNetwork final : public Network {
     return (static_cast<std::size_t>(y) * cfg_.width + x) * 4 + dir;
   }
 
-  /// Walk the dimension-ordered route, updating link occupancy/counters if
-  /// `record` is set; returns the arrival time for a message leaving at
-  /// `start`.
+  /// Walk the dimension-ordered route for a real message leaving at
+  /// `start`, updating link occupancy and per-link word counters; returns
+  /// the arrival time. Only `send` uses this — the zero-load `latency`
+  /// query is closed-form and touches no link state, so a const network can
+  /// never mutate links through a timing query.
   sim::Cycles route(sim::ProcId src, sim::ProcId dst, unsigned words,
-                    sim::Cycles start, bool record);
+                    sim::Cycles start);
 
   sim::Engine* engine_;
   MeshConfig cfg_;

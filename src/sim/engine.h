@@ -11,6 +11,8 @@
 
 namespace cm::sim {
 
+class Tracer;
+
 /// The heart of the Proteus-style simulator. Client code schedules closures
 /// at absolute or relative cycle times; `run()` drains the queue in
 /// (time, insertion-sequence) order, advancing the clock as it goes.
@@ -48,6 +50,12 @@ class Engine {
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
 
+  /// Event tracing is opt-in: every instrumented layer reaches its tracer
+  /// through the engine it already holds, so with no tracer installed (the
+  /// default) instrumentation is a null-pointer test and nothing else.
+  void set_tracer(Tracer* t) noexcept { tracer_ = t; }
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   struct Event {
     Cycles t;
@@ -64,6 +72,7 @@ class Engine {
   void step();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tracer* tracer_ = nullptr;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;

@@ -43,9 +43,14 @@ class Rng {
         (static_cast<unsigned __int128>(next()) * bound) >> 64);
   }
 
-  /// Uniform in [lo, hi] inclusive.
+  /// Uniform in [lo, hi] inclusive (requires lo <= hi).
   std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
-    return lo + below(hi - lo + 1);
+    const std::uint64_t span = hi - lo;
+    // span + 1 wraps to 0 when the full 64-bit range is requested, which
+    // would violate below()'s bound > 0 precondition (and silently return
+    // lo forever); the full range needs no rejection step at all.
+    if (span == ~std::uint64_t{0}) return next();
+    return lo + below(span + 1);
   }
 
   /// Uniform double in [0, 1).

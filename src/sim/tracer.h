@@ -1,0 +1,176 @@
+// Structured event tracing: cycle-timestamped, typed events on
+// per-processor tracks, exported as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Nonintrusive by construction, in the spirit of Proteus' instrumentation:
+// recording an event reads the engine clock and appends to a host-side
+// buffer — it never schedules events, draws random numbers, or charges
+// simulated cycles, so a traced run produces bit-identical simulation
+// results to an untraced one. When no tracer is installed
+// (Engine::tracer() == nullptr, the default) every instrumentation site is
+// a single pointer test and all outputs are bit-identical to a build that
+// never heard of tracing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/types.h"
+
+namespace cm::sim {
+
+/// Every event the instrumented layers can emit. One enum (rather than free
+/// strings) keeps recording allocation-free and lets tests assert exact
+/// coverage per type.
+enum class TraceEvent : unsigned {
+  // net: one send/deliver pair per wire message, linked by a "msg" id.
+  kMsgSend = 0,
+  kMsgDeliver,
+  // core::Runtime: computation migration and RPC control flow.
+  kMigrateBegin,        // activation leaves its processor
+  kMigrateArrive,       // continuation unmarshalled at the destination
+  kMigrateFallback,     // MOVE exhausted its retry budget; stayed put
+  kShortCircuitReply,   // migrated activation replies straight home
+  kRpcIssue,            // client stub launches a remote call
+  kRpcReply,            // reply delivered to the blocked caller
+  kThreadCreate,        // server-side thread for an RPC / continuation
+  // core::Replicated: software replication of read-mostly objects.
+  kReplicaFetch,
+  kReplicaInvalidate,
+  // core::ReliableTransport: the price of reliability.
+  kRetransmit,
+  kTimeout,
+  kDedup,
+  // net::FaultyNetwork: injected faults.
+  kFaultDrop,
+  kFaultDuplicate,
+  kFaultDelay,
+  kFaultNicDrop,
+  // applications.
+  kBalancerVisit,   // counting network: token traverses a balancer
+  kBTreeNodeVisit,  // B-tree: operation examines a node
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kMsgSend: return "msg.send";
+    case TraceEvent::kMsgDeliver: return "msg.deliver";
+    case TraceEvent::kMigrateBegin: return "migrate.begin";
+    case TraceEvent::kMigrateArrive: return "migrate.arrive";
+    case TraceEvent::kMigrateFallback: return "migrate.fallback";
+    case TraceEvent::kShortCircuitReply: return "migrate.short_circuit";
+    case TraceEvent::kRpcIssue: return "rpc.issue";
+    case TraceEvent::kRpcReply: return "rpc.reply";
+    case TraceEvent::kThreadCreate: return "thread.create";
+    case TraceEvent::kReplicaFetch: return "replica.fetch";
+    case TraceEvent::kReplicaInvalidate: return "replica.invalidate";
+    case TraceEvent::kRetransmit: return "reliable.retransmit";
+    case TraceEvent::kTimeout: return "reliable.timeout";
+    case TraceEvent::kDedup: return "reliable.dedup";
+    case TraceEvent::kFaultDrop: return "fault.drop";
+    case TraceEvent::kFaultDuplicate: return "fault.duplicate";
+    case TraceEvent::kFaultDelay: return "fault.delay";
+    case TraceEvent::kFaultNicDrop: return "fault.nic_drop";
+    case TraceEvent::kBalancerVisit: return "balancer.visit";
+    case TraceEvent::kBTreeNodeVisit: return "btree.node_visit";
+    case TraceEvent::kCount: break;
+  }
+  return "?";
+}
+
+/// Perfetto category, for filtering whole layers in the UI.
+[[nodiscard]] constexpr std::string_view trace_event_category(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kMsgSend:
+    case TraceEvent::kMsgDeliver:
+      return "net";
+    case TraceEvent::kMigrateBegin:
+    case TraceEvent::kMigrateArrive:
+    case TraceEvent::kMigrateFallback:
+    case TraceEvent::kShortCircuitReply:
+      return "migration";
+    case TraceEvent::kRpcIssue:
+    case TraceEvent::kRpcReply:
+    case TraceEvent::kThreadCreate:
+      return "rpc";
+    case TraceEvent::kReplicaFetch:
+    case TraceEvent::kReplicaInvalidate:
+      return "replication";
+    case TraceEvent::kRetransmit:
+    case TraceEvent::kTimeout:
+    case TraceEvent::kDedup:
+      return "reliable";
+    case TraceEvent::kFaultDrop:
+    case TraceEvent::kFaultDuplicate:
+    case TraceEvent::kFaultDelay:
+    case TraceEvent::kFaultNicDrop:
+      return "fault";
+    case TraceEvent::kBalancerVisit:
+    case TraceEvent::kBTreeNodeVisit:
+      return "app";
+    case TraceEvent::kCount:
+      break;
+  }
+  return "?";
+}
+
+/// One key/value annotation on an event; keys must be string literals (the
+/// tracer stores the pointer, not a copy).
+struct TraceArg {
+  const char* key;
+  std::uint64_t value;
+};
+
+class Tracer {
+ public:
+  /// Events are timestamped with `engine.now()` at record time.
+  explicit Tracer(Engine& engine) : engine_(&engine) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record `ev` on processor `track` at the current cycle, with up to
+  /// `kMaxArgs` annotations.
+  void record(TraceEvent ev, ProcId track,
+              std::initializer_list<TraceArg> args = {});
+
+  /// Fresh id linking a msg.send to its msg.deliver.
+  [[nodiscard]] std::uint64_t next_msg_id() noexcept { return ++msg_ids_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::uint64_t count(TraceEvent ev) const noexcept {
+    return counts_[static_cast<unsigned>(ev)];
+  }
+
+  /// The whole trace as a Chrome trace-event JSON object
+  /// ({"traceEvents": [...]}) with per-processor thread tracks.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Write `chrome_json()` to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  static constexpr std::size_t kMaxArgs = 4;
+
+ private:
+  struct Record {
+    Cycles t;
+    TraceEvent ev;
+    ProcId track;
+    std::uint8_t nargs;
+    std::array<TraceArg, kMaxArgs> args;
+  };
+
+  Engine* engine_;
+  std::vector<Record> records_;
+  std::array<std::uint64_t, static_cast<unsigned>(TraceEvent::kCount)>
+      counts_{};
+  std::uint64_t msg_ids_ = 0;
+  ProcId max_track_ = 0;
+};
+
+}  // namespace cm::sim

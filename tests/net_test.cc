@@ -79,6 +79,22 @@ TEST(MeshNetwork, ZeroLoadLatencyScalesWithHopsAndWords) {
   EXPECT_EQ(net.latency(0, 3, 6), 16u);
 }
 
+TEST(MeshNetwork, LatencyQueryIsPureUnderLoad) {
+  Engine eng;
+  MeshConfig cfg{.width = 4, .launch = 4, .per_hop = 2, .per_word = 1,
+                 .contention = true};
+  MeshNetwork net(eng, 16, cfg);
+  const Cycles zero_load = net.latency(0, 3, 8);
+  // Saturate the 0 -> 3 row, then re-query: latency() is a zero-load
+  // closed form that must neither change under load nor mutate link state
+  // (it used to const_cast its way into the routing walk).
+  for (int i = 0; i < 4; ++i) net.send(0, 3, 8, Traffic::kRuntime, [] {});
+  eng.run();
+  const std::uint64_t link_words = net.max_link_words();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(net.latency(0, 3, 8), zero_load);
+  EXPECT_EQ(net.max_link_words(), link_words);
+}
+
 TEST(MeshNetwork, DeliveryMatchesLatencyUnderZeroLoad) {
   Engine eng;
   MeshNetwork net(eng, 16, {.width = 4});

@@ -78,6 +78,35 @@ TEST(Rng, ShuffleIsAPermutation) {
   EXPECT_EQ(sorted, orig);
 }
 
+TEST(Rng, BetweenFullRangeDoesNotCollapse) {
+  // between(0, 2^64-1) used to compute below(hi - lo + 1), whose bound wraps
+  // to 0 and silently returned lo forever. The full range must draw freely.
+  Rng r(23);
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  bool low_half = false, high_half = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = r.between(0, kMax);
+    (v > kMax / 2 ? high_half : low_half) = true;
+  }
+  EXPECT_TRUE(low_half);
+  EXPECT_TRUE(high_half);
+  // Shifted full-width spans hit the same wrap.
+  bool varied = false;
+  const std::uint64_t first = r.between(1, kMax);
+  for (int i = 0; i < 64 && !varied; ++i) varied = r.between(1, kMax) != first;
+  EXPECT_TRUE(varied);
+}
+
+TEST(Rng, BetweenStaysInsideInclusiveBounds) {
+  Rng r(27);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(r.between(42, 42), 42u);
+    const std::uint64_t v = r.between(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+  }
+}
+
 TEST(Rng, ChanceExtremes) {
   Rng r(19);
   for (int i = 0; i < 100; ++i) {

@@ -102,10 +102,11 @@ TEST(WorkloadOptions, MeshAndUniformDiffer) {
   const auto uniform = run_counting(cfg);
   EXPECT_GT(mesh.ops, 0);
   EXPECT_GT(uniform.ops, 0);
-  // Different timing models give different schedules: op counts can
-  // coincide, but the exact traffic inside the window will not.
-  EXPECT_NE(std::pair(mesh.ops, mesh.words),
-            std::pair(uniform.ops, uniform.words));
+  // Different timing models give different schedules. In-window totals can
+  // coincide (traffic tracks ops closely, and op counts may match), so
+  // compare full-run signals: drain time and cumulative traffic.
+  EXPECT_NE(std::pair(mesh.completed_at, mesh.net.words),
+            std::pair(uniform.completed_at, uniform.net.words));
 }
 
 TEST(WorkloadOptions, LimitlessPointerBudgetAffectsSmOnly) {

@@ -82,6 +82,31 @@ TEST(CountingWorkload, ThinkTimeLowersLoad) {
   EXPECT_LT(cold.ops, hot.ops);
 }
 
+TEST(CountingWorkload, FixedAndTimedWindowsAgree) {
+  // The measurement window is half-open [warm_at, end_at) for ops, words,
+  // and messages alike. A fixed-work run (one requester, 3 ops) and a timed
+  // run whose window closes one cycle after the fixed run drained replay
+  // the same event sequence through that point — the requester's 4th op
+  // cannot start until a full think time later — so every counter must
+  // agree exactly, including ops completing on the window boundary itself.
+  CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.requesters = 1;
+  cfg.think = 10'000;
+  cfg.ops_per_requester = 3;
+  const RunStats fixed = run_counting(cfg);
+  EXPECT_EQ(fixed.ops, 3);
+  EXPECT_EQ(fixed.total_exited, 3);
+
+  CountingConfig timed = cfg;
+  timed.ops_per_requester = 0;
+  timed.window = Window{0, fixed.completed_at + 1};
+  const RunStats t = run_counting(timed);
+  EXPECT_EQ(t.ops, fixed.ops);
+  EXPECT_EQ(t.words, fixed.words);
+  EXPECT_EQ(t.messages, fixed.messages);
+}
+
 TEST(BTreeWorkload, ProducesThroughputAndStaysValid) {
   BTreeConfig cfg;
   cfg.scheme = Scheme{Mechanism::kMigration, false, false};
