@@ -28,6 +28,8 @@
 #include "sim/machine.h"
 #include "sim/rng.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Ctx;
 using core::Mechanism;
@@ -199,7 +201,10 @@ sim::Cycles run_adaptive(std::vector<Mechanism>* picks_out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Adaptive mechanism selection: profile-guided chooser vs fixed mechanisms on both workloads.");
+
   std::printf("Adaptive mechanism selection on a mixed application\n"
               "(message-passing machine: no coherent-memory hardware)\n");
   std::printf("(%u threads; read-mostly configs, write-shared counters, "

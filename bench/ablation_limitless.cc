@@ -11,11 +11,16 @@
 
 #include "apps/workload.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Mechanism;
 using core::Scheme;
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "LimitLESS directory ablation: shared-memory schemes vs hardware sharer-pointer count.");
+
   std::printf("LimitLESS directory ablation (SM scheme; message-passing "
               "schemes shown for reference)\n");
 

@@ -23,6 +23,8 @@
 #include "sim/engine.h"
 #include "sim/machine.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Ctx;
 using core::Mechanism;
@@ -114,7 +116,10 @@ void affinity_panel() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Five-way mechanism comparison (RPC/CP/TM/OBJ/SM) on both paper workloads.");
+
   std::printf("Mechanism design space (§2): RPC, computation migration,\n"
               "shared memory, object migration, thread migration\n");
   counting_panel();

@@ -14,6 +14,8 @@
 #include "sim/engine.h"
 #include "sim/machine.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Ctx;
 
@@ -115,7 +117,10 @@ sim::Task<> nested_group(World* w, std::vector<core::ObjectId> objs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Migration-grain ablation: live-state size sweep, thread- vs computation-migration, and group migration.");
+
   std::printf("(a) Migration cost vs. live-frame size (%u-hop chain, %u "
               "accesses per datum)\n", kHops, kAccessesPerDatum);
   sim::Cycles rpc_time = 0;

@@ -9,6 +9,8 @@
 
 #include "apps/workload.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Mechanism;
 using core::Scheme;
@@ -56,7 +58,10 @@ void btree_panel(bool mesh) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Network-model sensitivity: uniform-latency vs 2-D mesh interconnect across mechanisms.");
+
   std::printf("Network-model sensitivity (throughput, ops/1000 cycles)\n");
   std::printf("\nCounting network, 32 requesters, think 0:\n");
   std::printf("%-10s%14s%14s%14s%14s\n", "network", "SM", "CP w/HW", "CP",

@@ -18,6 +18,8 @@
 #include "sim/engine.h"
 #include "sim/machine.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Ctx;
 
@@ -71,7 +73,10 @@ sim::Task<> comp_migration(World* w, std::vector<core::ObjectId> objs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Prefetching ablation (sec 2.5): latency hiding lowering the relative cost of data migration.");
+
   std::printf("Latency hiding: %u remote blocks x %u accesses, %llu cycles "
               "of work per access\n\n", kBlocks, kAccesses,
               static_cast<unsigned long long>(kWork));

@@ -11,11 +11,16 @@
 
 #include "apps/workload.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Mechanism;
 using core::Scheme;
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Write-sharing ablation: per-mechanism sensitivity to the fraction of writes.");
+
   std::printf("B-tree insert-ratio sweep, 16 requesters, think 0\n\n");
   std::printf("%-8s | %12s %14s | %12s %14s | %8s\n", "inserts",
               "SM thr", "SM bw w/10cy", "CP+r thr", "CP+r bw", "SM/CP");

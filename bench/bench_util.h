@@ -1,0 +1,27 @@
+// Shared helpers for the bench binaries. Header-only on purpose: each bench
+// is a self-contained program and the helpers are a handful of lines.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cm::bench {
+
+/// Print a usage line and exit(0) when any argument is -h/--help.
+/// `args` documents the positional arguments ("" when the bench takes
+/// none); `what` is a one-line description of what the bench prints.
+inline void maybe_usage(int argc, char** argv, const char* args,
+                        const char* what) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-h") != 0 &&
+        std::strcmp(argv[i], "--help") != 0) {
+      continue;
+    }
+    std::printf("usage: %s%s%s\n%s\n", argv[0], *args != '\0' ? " " : "",
+                args, what);
+    std::exit(0);
+  }
+}
+
+}  // namespace cm::bench

@@ -18,6 +18,8 @@
 #include "sim/engine.h"
 #include "sim/machine.h"
 
+#include "bench_util.h"
+
 using namespace cm;
 using core::Ctx;
 
@@ -78,7 +80,10 @@ sim::Task<> data_sweep(World* w, std::vector<shmem::Addr> addrs, unsigned n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Figure 1 (sec 2.5): predicted vs simulated message counts for n accesses to each of m remote items, per mechanism.");
+
   std::printf("Figure 1: messages for one thread making n accesses to each "
               "of m remote data items\n");
   std::printf("%4s %4s | %10s %6s | %10s %6s | %10s %6s\n", "m", "n",

@@ -11,6 +11,8 @@
 #include "apps/workload.h"
 #include "core/metrics.h"
 
+#include "bench_util.h"
+
 using cm::apps::CountingConfig;
 using cm::apps::RunStats;
 using cm::apps::Window;
@@ -59,6 +61,8 @@ void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "[out.json]",
+                         "Figure 2: counting-network throughput vs requesters for SM/CP/RPC at think 0 and 10k cycles; optional unified-schema JSON export.");
   cm::core::MetricsRegistry reg;
   const char* json_path = argc > 1 ? argv[1] : nullptr;
   std::printf("Figure 2: counting-network throughput (requests/1000 cycles)\n");

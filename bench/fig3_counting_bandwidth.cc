@@ -5,6 +5,8 @@
 
 #include "apps/workload.h"
 
+#include "bench_util.h"
+
 using cm::apps::CountingConfig;
 using cm::apps::RunStats;
 using cm::apps::Window;
@@ -46,7 +48,10 @@ void run_panel(cm::sim::Cycles think) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Figure 3: counting-network bandwidth (words/10 cycles) vs requesters for SM/CP/RPC at both think times.");
+
   std::printf(
       "Figure 3: counting-network bandwidth (words sent / 10 cycles)\n");
   run_panel(10'000);

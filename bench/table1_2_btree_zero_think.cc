@@ -10,6 +10,8 @@
 #include "apps/workload.h"
 #include "core/metrics.h"
 
+#include "bench_util.h"
+
 using cm::apps::BTreeConfig;
 using cm::apps::RunStats;
 using cm::apps::Window;
@@ -17,6 +19,8 @@ using cm::core::Mechanism;
 using cm::core::Scheme;
 
 int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "[out.json]",
+                         "Tables 1-2: distributed B-tree throughput and bandwidth at zero think time, all schemes; optional unified-schema JSON export.");
   const Scheme schemes[] = {
       {Mechanism::kSharedMemory, false, false},
       {Mechanism::kRpc, false, false},

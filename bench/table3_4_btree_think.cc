@@ -6,13 +6,18 @@
 
 #include "apps/workload.h"
 
+#include "bench_util.h"
+
 using cm::apps::BTreeConfig;
 using cm::apps::RunStats;
 using cm::apps::Window;
 using cm::core::Mechanism;
 using cm::core::Scheme;
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Tables 3-4: distributed B-tree throughput and bandwidth with 10,000-cycle think time, all schemes.");
+
   const Scheme schemes[] = {
       {Mechanism::kSharedMemory, false, false},
       {Mechanism::kMigration, false, true},

@@ -8,6 +8,8 @@
 #include "core/cost_model.h"
 #include "core/stats.h"
 
+#include "bench_util.h"
+
 using cm::apps::CountingConfig;
 using cm::apps::RunStats;
 using cm::apps::Window;
@@ -81,7 +83,10 @@ void print_breakdown(const RunStats& r, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cm::bench::maybe_usage(argc, argv, "",
+                         "Table 5: per-category cycle breakdown of one migrated activation in the counting network.");
+
   std::printf("Table 5: approximate costs for migration in the counting "
               "network\n(per-category cycles divided by migrations)\n");
 

@@ -129,6 +129,13 @@ RunStats run_counting(const CountingConfig& cfg) {
   core::ObjectSpace objects;
   core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
   if (chaos) rt.enable_reliability(cfg.reliable);
+  // Distributed object location: constructed before the application so its
+  // create-hook catches every object. In oracle mode the Locator is inert
+  // and the run is bit-identical to one without it.
+  std::unique_ptr<loc::Locator> locator;
+  if (cfg.locator.mode == loc::Locality::kDistributed) {
+    locator = std::make_unique<loc::Locator>(rt, cfg.locator);
+  }
   CountingNetwork cn(rt, mem.get(), np);
 
   const bool fixed = cfg.ops_per_requester > 0;
@@ -170,6 +177,10 @@ RunStats run_counting(const CountingConfig& cfg) {
   out.completed_at = eng.now();
   out.total_exited = cn.total_exited();
   out.step_property = cn.has_step_property();
+  if (locator != nullptr) {
+    out.locator_enabled = true;
+    out.loc = locator->stats();
+  }
   if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
     out.trace_path = cfg.trace_path;
   }
@@ -204,6 +215,12 @@ RunStats run_btree(const BTreeConfig& cfg) {
   core::ObjectSpace objects;
   core::Runtime rt(machine, network, objects, cfg.scheme.cost_model());
   if (chaos) rt.enable_reliability(cfg.reliable);
+  // See run_counting: the locator precedes the application so B-tree nodes
+  // (including ones born later in splits) get directory entries.
+  std::unique_ptr<loc::Locator> locator;
+  if (cfg.locator.mode == loc::Locality::kDistributed) {
+    locator = std::make_unique<loc::Locator>(rt, cfg.locator);
+  }
 
   DistributedBTree::Params bp;
   bp.max_entries = cfg.max_entries;
@@ -260,6 +277,10 @@ RunStats run_btree(const BTreeConfig& cfg) {
   out.btree_keys = bt.num_keys();
   out.btree_digest = bt.digest_host();
   out.invariants_ok = bt.check_invariants();
+  if (locator != nullptr) {
+    out.locator_enabled = true;
+    out.loc = locator->stats();
+  }
   if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
     out.trace_path = cfg.trace_path;
   }
@@ -283,6 +304,7 @@ void put_run_stats(core::Metrics& m, const RunStats& s) {
   m.put("btree_digest", digest);
   m.put("invariants_ok", s.invariants_ok);
   if (!s.trace_path.empty()) m.put("trace", s.trace_path);
+  if (s.locator_enabled) loc::put_loc_stats(m, s.loc);
   core::put_rt_stats(m, s.runtime);
   core::put_net_stats(m, s.net);
 }

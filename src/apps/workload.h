@@ -18,6 +18,7 @@
 #include "core/metrics.h"
 #include "core/reliable.h"
 #include "core/stats.h"
+#include "loc/locator.h"
 #include "net/faulty_net.h"
 #include "sim/types.h"
 
@@ -47,6 +48,11 @@ struct RunStats {
   std::size_t btree_keys = 0;      // B-tree: number of stored keys
   std::uint64_t btree_digest = 0;  // B-tree: digest of (key, value) pairs
   bool invariants_ok = false;      // B-tree: structural invariants hold
+
+  // Distributed object location (only meaningful when a run enables the
+  // locator; `locator_enabled` gates the metrics export).
+  bool locator_enabled = false;
+  loc::LocStats loc;
 
   std::string trace_path;  // Chrome trace written for this run ("" = none)
 
@@ -91,6 +97,11 @@ struct CountingConfig {
   // here after the run. Empty (default): no tracer is installed and the
   // simulation is bit-identical to a build without tracing.
   std::string trace_path;
+  // Object location: kOracle (default) keeps the omniscient ObjectSpace and
+  // is bit-identical to the pre-locator system; kDistributed pays for every
+  // lookup through directory shards, translation caches and forwarding
+  // chains.
+  loc::LocatorConfig locator;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -113,6 +124,7 @@ struct BTreeConfig {
   core::ReliableConfig reliable;
   long ops_per_requester = 0;
   std::string trace_path;
+  loc::LocatorConfig locator;  // see CountingConfig
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

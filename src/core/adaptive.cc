@@ -15,6 +15,10 @@ void AdaptiveChooser::record(ObjectId obj, sim::ProcId accessor, bool write) {
   }
 }
 
+void AdaptiveChooser::record_bounce(ObjectId obj) {
+  ++profiles_[obj].bounces;
+}
+
 const AdaptiveChooser::Profile* AdaptiveChooser::find(ObjectId obj) const {
   const auto it = profiles_.find(obj);
   return it == profiles_.end() ? nullptr : &it->second;
@@ -47,6 +51,12 @@ double AdaptiveChooser::dominant_share(ObjectId obj) const {
   return static_cast<double>(best) / static_cast<double>(p->accesses);
 }
 
+double AdaptiveChooser::bounce_rate(ObjectId obj) const {
+  const Profile* p = find(obj);
+  if (p == nullptr || p->accesses == 0) return 0.0;
+  return static_cast<double>(p->bounces) / static_cast<double>(p->accesses);
+}
+
 Mechanism AdaptiveChooser::recommend(ObjectId obj, unsigned frame_words,
                                      unsigned object_words) const {
   const Profile* p = find(obj);
@@ -58,9 +68,15 @@ Mechanism AdaptiveChooser::recommend(ObjectId obj, unsigned frame_words,
   // prefer RPC if moving the object instead is not clearly better.
   const bool huge_frame = frame_words >= tunables_.frame_words_rpc_cutoff;
 
+  // Observed ping-pong: requests keep landing on stale hosts and chasing
+  // forwarding pointers, so moving the object chases its own tail. This
+  // signal comes from the location subsystem and vetoes object migration
+  // outright.
+  const bool ping_pongs = bounce_rate(obj) > tunables_.bounce_rate_cap;
+
   // One processor doing (nearly) all the accessing: move the object to it
   // once, Emerald-style — unless the object dwarfs the traffic it saves.
-  if (dominant_share(obj) >= tunables_.dominant_accessor_share &&
+  if (!ping_pongs && dominant_share(obj) >= tunables_.dominant_accessor_share &&
       object_words <= 16 * frame_words) {
     return Mechanism::kObjectMigration;
   }
@@ -84,7 +100,9 @@ Mechanism AdaptiveChooser::recommend(ObjectId obj, unsigned frame_words,
   // Short runs on a tiny object: moving the object is as cheap as moving
   // the computation, and it spreads the handling across the accessors
   // instead of serialising continuation receptions at one home.
-  if (object_words <= 2 * frame_words) return Mechanism::kObjectMigration;
+  if (!ping_pongs && object_words <= 2 * frame_words) {
+    return Mechanism::kObjectMigration;
+  }
   return frame_words < tunables_.frame_words_rpc_cutoff ? Mechanism::kMigration
                                                         : Mechanism::kRpc;
 }

@@ -41,6 +41,9 @@ class AdaptiveChooser {
     bool allow_shared_memory = true;  // false on machines without coherent
                                       // shared-memory hardware ("in
                                       // non-shared memory systems...", §6)
+    double bounce_rate_cap = 0.5;  // forwarding bounces per access above
+                                   // which the object demonstrably
+                                   // ping-pongs: never recommend moving it
   };
 
   AdaptiveChooser() = default;
@@ -48,6 +51,12 @@ class AdaptiveChooser {
 
   /// Record one access to `obj` from processor `accessor`.
   void record(ObjectId obj, sim::ProcId accessor, bool write);
+
+  /// Record that a request for `obj` landed on a stale host and had to be
+  /// forwarded (reported by the location subsystem). A high bounce rate is
+  /// direct evidence that the object moves faster than hints spread —
+  /// exactly when Emerald-style object migration goes pathological.
+  void record_bounce(ObjectId obj);
 
   /// Recommend a mechanism for accessing `obj` given the live-state size a
   /// migration would ship and the object's own size. Falls back to
@@ -62,12 +71,15 @@ class AdaptiveChooser {
   [[nodiscard]] double avg_run_length(ObjectId obj) const;
   /// Fraction of accesses made by the most frequent accessor.
   [[nodiscard]] double dominant_share(ObjectId obj) const;
+  /// Forwarding bounces per recorded access.
+  [[nodiscard]] double bounce_rate(ObjectId obj) const;
 
  private:
   struct Profile {
     std::uint64_t accesses = 0;
     std::uint64_t writes = 0;
     std::uint64_t runs = 0;  // maximal same-accessor streaks
+    std::uint64_t bounces = 0;  // stale-host forwards seen by the locator
     sim::ProcId last_accessor = sim::kNoProc;
     std::unordered_map<sim::ProcId, std::uint64_t> by_accessor;
   };

@@ -1,0 +1,52 @@
+// Object-location service interface. The runtime's default behaviour is the
+// oracle: `ObjectSpace::home_of` answers instantly and for free, and
+// `ObjectSpace::move` updates every processor's view at once. A
+// LocationService replaces that oracle with a mechanistic protocol — the
+// concrete implementation lives in `src/loc` (directory shards, bounded
+// translation caches, Emerald-style forwarding chains). `Runtime` and
+// `MobileObject` hold a nullable pointer: with no service installed they
+// run the oracle code paths bit-for-bit, which is what keeps the paper's
+// figures reproducible.
+#pragma once
+
+#include "core/object.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace cm::core {
+
+struct Ctx;  // defined in core/runtime.h
+
+class LocationService {
+ public:
+  virtual ~LocationService() = default;
+
+  /// Best-known current location of `obj` as seen from `ctx.proc`: the
+  /// local table if the object is here, else the translation cache, else a
+  /// directory-shard query (real messages). Charges translation cycles;
+  /// never draws RNG. The answer may already be stale when used — senders
+  /// follow up with `forward`.
+  [[nodiscard]] virtual sim::Task<sim::ProcId> resolve(Ctx& ctx,
+                                                       ObjectId obj) = 0;
+
+  /// A `words`-word request for `obj` just landed at `at`. If the object
+  /// has moved on, bounce the request along forwarding pointers until it
+  /// reaches the object, compressing the chain and refreshing `requester`'s
+  /// cache on success. Returns the processor where the request finally
+  /// landed (== `at` when the hint was good).
+  [[nodiscard]] virtual sim::Task<sim::ProcId> forward(ObjectId obj,
+                                                       sim::ProcId at,
+                                                       unsigned words,
+                                                       sim::ProcId requester)
+      = 0;
+
+  /// Move `obj` (shipping `size_words` of state) to `ctx.proc`, serialised
+  /// through the object's directory shard — the distributed replacement for
+  /// MobileObject's cross-processor transfer lock. Returns true if this
+  /// call actually moved the object (false when a racing mover already
+  /// brought it here).
+  [[nodiscard]] virtual sim::Task<bool> move_object(Ctx& ctx, ObjectId obj,
+                                                    unsigned size_words) = 0;
+};
+
+}  // namespace cm::core

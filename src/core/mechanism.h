@@ -37,10 +37,14 @@ struct Scheme {
   Mechanism mechanism = Mechanism::kRpc;
   bool hw_support = false;   // register-mapped NI + hardware OID translation
   bool replication = false;  // software replication of the hot object (root)
+  bool hw_oid_only = false;  // J-Machine GOID translation alone, without the
+                             // register-mapped NI — isolates the translation
+                             // axis for the location-subsystem ablation
 
   [[nodiscard]] CostModel cost_model() const {
     CostModel m = CostModel::software();
     if (hw_support) m = m.with_hw_message().with_hw_oid();
+    if (hw_oid_only) m = m.with_hw_oid();
     return m;
   }
 
@@ -54,6 +58,7 @@ struct Scheme {
     } else if (hw_support) {
       s += " w/HW";
     }
+    if (hw_oid_only && !hw_support) s += " w/hwOID";
     return s;
   }
 };

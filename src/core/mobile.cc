@@ -7,8 +7,23 @@ sim::Task<> MobileObject::attract(Ctx& ctx) {
   co_await rt_->charge(ctx.proc, c.locality_check, Category::kLocalityCheck);
   if (home() == ctx.proc) co_return;
 
+  if (LocationService* loc = rt_->locator()) {
+    // Distributed mode: no cross-processor lock object exists. The object's
+    // directory shard serialises movers, and the departing host leaves a
+    // forwarding pointer behind for requests still in flight.
+    const bool moved = co_await loc->move_object(ctx, id_, size_words_);
+    if (moved) {
+      ++moves_;
+      ++rt_->mutable_stats().object_moves;
+      rt_->mutable_stats().moved_object_words += size_words_;
+    }
+    co_return;
+  }
+
   // One mover at a time; re-check after the lock (someone may have dragged
-  // the object here, or elsewhere, while we waited).
+  // the object here, or elsewhere, while we waited). The transfer_lock_ is
+  // itself an oracle — a zero-cost globally-visible mutex — matching the
+  // ObjectSpace oracle this mode runs against.
   co_await transfer_lock_.lock();
   const ProcId cur = home();
   if (cur == ctx.proc) {

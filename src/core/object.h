@@ -1,12 +1,19 @@
 // Global object name space: every shared object has a global id and a home
 // processor. On a real message-passing machine this mapping is the software
 // global-object table whose translation cost Table 5 measures (and which the
-// J-Machine provides in hardware); here it is also how the runtime decides
-// whether an instance-method call is local.
+// J-Machine provides in hardware); here it is the simulator's ground truth
+// for where each object currently lives. How a processor *discovers* that
+// location is a separate question: by default the runtime consults this
+// table directly (an omniscient oracle, free of charge), and the `src/loc`
+// subsystem replaces that oracle with directory shards, translation caches
+// and forwarding chains that pay for every lookup.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/types.h"
@@ -17,27 +24,49 @@ using ObjectId = std::uint32_t;
 
 class ObjectSpace {
  public:
+  /// Observer invoked on every `create`, so a location service can register
+  /// directory entries for objects allocated after it was installed (e.g.
+  /// B-tree nodes born in splits).
+  using CreateHook = std::function<void(ObjectId, sim::ProcId)>;
+
   /// Register a new object homed on `home`; returns its global id.
   ObjectId create(sim::ProcId home) {
     homes_.push_back(home);
-    return static_cast<ObjectId>(homes_.size() - 1);
+    const auto id = static_cast<ObjectId>(homes_.size() - 1);
+    if (create_hook_) create_hook_(id, home);
+    return id;
   }
 
   [[nodiscard]] sim::ProcId home_of(ObjectId id) const {
-    assert(id < homes_.size());
+    check(id, "home_of");
     return homes_[id];
   }
 
   /// Rebind an object's home (object migration / Emerald-style mobility).
   void move(ObjectId id, sim::ProcId new_home) {
-    assert(id < homes_.size());
+    check(id, "move");
     homes_[id] = new_home;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return homes_.size(); }
 
+  void set_create_hook(CreateHook hook) { create_hook_ = std::move(hook); }
+
  private:
+  /// An out-of-range ObjectId is always a caller bug (a stale or corrupted
+  /// global id); aborting beats the silent out-of-bounds read a bare assert
+  /// would permit in Release builds.
+  void check(ObjectId id, const char* what) const {
+    if (id >= homes_.size()) {
+      std::fprintf(stderr,
+                   "ObjectSpace::%s: object id %u out of range (size %zu)\n",
+                   what, id, homes_.size());
+      std::abort();
+    }
+  }
+
   std::vector<sim::ProcId> homes_;
+  CreateHook create_hook_;
 };
 
 }  // namespace cm::core

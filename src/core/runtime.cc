@@ -68,9 +68,14 @@ sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
 }
 
 sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
-  const ProcId dest = objects_->home_of(obj);
   // The locality check is shared with ordinary instance-method dispatch.
   co_await charge(ctx.proc, cost_.locality_check, Category::kLocalityCheck);
+  ProcId dest;
+  if (locator_ == nullptr) {
+    dest = objects_->home_of(obj);
+  } else {
+    dest = co_await locator_->resolve(ctx, obj);
+  }
   if (dest == ctx.proc) {
     // Already local: the annotation costs nothing (paper §3.1).
     ++stats_.migrations_local;
@@ -105,6 +110,11 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   }
   ++stats_.migrations;
   stats_.migrated_words += live_words;
+  if (locator_ != nullptr) {
+    // Chase forwarding pointers if the object moved while the continuation
+    // was in flight; the activation lands wherever the object now lives.
+    dest = co_await locator_->forward(obj, dest, live_words, from);
+  }
 
   // Continuation server stub at the destination: unmarshal the live
   // variables into a fresh activation and a thread to run it. The original
@@ -136,10 +146,15 @@ sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
 
 sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
                                    unsigned live_words) {
-  const ProcId dest = objects_->home_of(obj);
   if (group.empty()) co_return;
   Ctx& top = *group.front();
   co_await charge(top.proc, cost_.locality_check, Category::kLocalityCheck);
+  ProcId dest;
+  if (locator_ == nullptr) {
+    dest = objects_->home_of(obj);
+  } else {
+    dest = co_await locator_->resolve(top, obj);
+  }
   if (dest == top.proc) {
     ++stats_.migrations_local;
     co_return;
@@ -172,6 +187,9 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
   }
   ++stats_.migrations;
   stats_.migrated_words += live_words;
+  if (locator_ != nullptr) {
+    dest = co_await locator_->forward(obj, dest, live_words, from);
+  }
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
   ++stats_.threads_created;
   if (sim::Tracer* tr = tracer()) {

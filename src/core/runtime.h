@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/location.h"
 #include "core/object.h"
 #include "core/reliable.h"
 #include "core/stats.h"
@@ -114,6 +115,12 @@ class Runtime {
     return reliable_ != nullptr;
   }
 
+  /// Install a location service (loc::Locator). With none installed (the
+  /// default), every dispatch consults the ObjectSpace oracle directly and
+  /// the event sequence is bit-identical to the pre-locator runtime.
+  void set_locator(LocationService* loc) noexcept { locator_ = loc; }
+  [[nodiscard]] LocationService* locator() const noexcept { return locator_; }
+
   /// Awaitable runtime message src -> dst carrying `words` payload words
   /// (header added here); resumes at delivery time. Returns true once
   /// delivered — always, on this unbounded-retry path; only the bounded
@@ -155,11 +162,16 @@ class Runtime {
     static_assert(!std::is_void_v<R>,
                   "method bodies return a value; use call<Unit>");
 
-    const ProcId home = objects_->home_of(obj);
     // Every instance-method call checks locality (so this is not an extra
     // cost for computation migration).
     co_await charge(caller.proc, cost_.locality_check,
                     Category::kLocalityCheck);
+    ProcId home;
+    if (locator_ == nullptr) {
+      home = objects_->home_of(obj);
+    } else {
+      home = co_await locator_->resolve(caller, obj);
+    }
 
     if (home == caller.proc) {
       ++stats_.local_calls;
@@ -176,6 +188,12 @@ class Runtime {
     co_await send_path(caller.proc, opts.arg_words);
     const ProcId reply_to = caller.proc;
     co_await transfer(caller.proc, home, opts.arg_words);
+    if (locator_ != nullptr) {
+      // The hint we resolved may already be stale: chase the forwarding
+      // chain until the request reaches the object's current host.
+      home = co_await locator_->forward(obj, home, opts.arg_words,
+                                        caller.proc);
+    }
 
     // ---- server stub (now executing at `home`) ----
     co_await receive_request(home, opts.arg_words,
@@ -231,6 +249,7 @@ class Runtime {
   RtStats stats_;
   ReliableConfig reliable_cfg_;
   std::unique_ptr<ReliableTransport> reliable_;
+  LocationService* locator_ = nullptr;  // null = oracle mode
 };
 
 }  // namespace cm::core

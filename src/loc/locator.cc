@@ -1,0 +1,433 @@
+#include "loc/locator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adaptive.h"
+
+namespace cm::loc {
+
+using core::Category;
+using core::CostModel;
+using sim::Cycles;
+using sim::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// TranslationCache
+
+std::optional<ProcId> TranslationCache::get(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+std::optional<ProcId> TranslationCache::peek(ObjectId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second->second;
+}
+
+bool TranslationCache::put(ObjectId id, ProcId where) {
+  if (capacity_ == 0) return false;  // caching disabled
+  if (const auto it = index_.find(id); it != index_.end()) {
+    it->second->second = where;
+    order_.splice(order_.begin(), order_, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (index_.size() >= capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    evicted = true;
+  }
+  order_.emplace_front(id, where);
+  index_[id] = order_.begin();
+  return evicted;
+}
+
+void TranslationCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Locator: construction / registration
+
+Locator::Locator(core::Runtime& rt, LocatorConfig cfg)
+    : rt_(&rt), cfg_(cfg), nprocs_(rt.machine().size()) {
+  if (cfg_.mode != Locality::kDistributed) return;  // inert in oracle mode
+  procs_.reserve(nprocs_);
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    procs_.emplace_back(cfg_.cache_capacity);
+  }
+  core::ObjectSpace& os = rt_->objects();
+  for (std::size_t id = 0; id < os.size(); ++id) {
+    const auto oid = static_cast<ObjectId>(id);
+    on_create(oid, os.home_of(oid));
+  }
+  os.set_create_hook(
+      [this](ObjectId id, ProcId home) { on_create(id, home); });
+  rt_->set_locator(this);
+  attached_ = true;
+}
+
+Locator::~Locator() {
+  if (!attached_) return;
+  rt_->objects().set_create_hook(nullptr);
+  if (rt_->locator() == this) rt_->set_locator(nullptr);
+}
+
+void Locator::on_create(ObjectId id, ProcId home) {
+  // ObjectSpace ids are dense and sequential; the directory mirrors that.
+  if (id != dir_.size()) {
+    std::fprintf(stderr,
+                 "Locator::on_create: non-sequential object id %u "
+                 "(directory size %zu)\n",
+                 id, dir_.size());
+    std::abort();
+  }
+  dir_.emplace_back();
+  DirEntry& e = dir_.back();
+  e.owner = home;
+  e.shard = cfg_.directory == DirectoryPolicy::kHashHome
+                ? static_cast<ProcId>(id % nprocs_)
+                : home;
+}
+
+ProcId Locator::shard_of(ObjectId id) const { return dir_[id].shard; }
+
+ProcId Locator::directory_owner(ObjectId id) const { return dir_[id].owner; }
+
+std::optional<ProcId> Locator::cached_hint(ProcId p, ObjectId id) const {
+  return procs_[p].cache.peek(id);
+}
+
+std::optional<ProcId> Locator::forwarding_pointer(ProcId p,
+                                                  ObjectId id) const {
+  const auto& fw = procs_[p].fwd;
+  const auto it = fw.find(id);
+  if (it == fw.end()) return std::nullopt;
+  return it->second;
+}
+
+ProcId Locator::owner_truth(ObjectId id) const {
+  return rt_->objects().home_of(id);
+}
+
+void Locator::cache_put(ProcId p, ObjectId id, ProcId where) {
+  // Never cache a hint naming the holder itself: local objects are found
+  // through the local table, and such an entry would only go stale.
+  if (where == p) {
+    procs_[p].cache.erase(id);
+    return;
+  }
+  if (procs_[p].cache.put(id, where)) ++stats_.cache_evictions;
+}
+
+void Locator::trace(TraceEvent ev, ProcId track,
+                    std::initializer_list<sim::TraceArg> args) {
+  if (sim::Tracer* tr = rt_->tracer()) tr->record(ev, track, args);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle accounting. All charges decompose into existing Table-5 categories
+// (no new breakdown keys), and each helper runs as one atomic CPU charge,
+// matching the runtime's handler-granularity FCFS convention.
+
+sim::Cycles Locator::add_parts(
+    std::initializer_list<std::pair<Category, Cycles>> parts) {
+  core::Breakdown& bd = rt_->mutable_stats().breakdown;
+  Cycles total = 0;
+  for (const auto& [cat, cycles] : parts) {
+    bd.add(cat, cycles);
+    total += cycles;
+  }
+  return total;
+}
+
+sim::Task<> Locator::send_ctl(ProcId at, unsigned words) {
+  const CostModel& c = rt_->cost();
+  const Cycles total =
+      add_parts({{Category::kSendLinkage, c.send_linkage},
+                 {Category::kMarshal, c.marshal(words)},
+                 {Category::kSendAllocPacket, c.alloc_packet_send()},
+                 {Category::kMessageSend, c.message_send}});
+  co_await rt_->machine().compute(at, total);
+}
+
+sim::Task<> Locator::recv_ctl(ProcId at, unsigned words) {
+  // A locator control message is handled like a short method: full software
+  // reception, no thread creation.
+  const CostModel& c = rt_->cost();
+  const Cycles total =
+      add_parts({{Category::kCopyPacket, c.copy(words)},
+                 {Category::kRecvAllocPacket, c.alloc_packet_recv()},
+                 {Category::kForwardingCheck, c.forwarding_check},
+                 {Category::kUnmarshal, c.unmarshal(words)},
+                 {Category::kOidTranslation, c.oid()},
+                 {Category::kScheduler, c.scheduler},
+                 {Category::kRecvLinkage, c.recv_linkage}});
+  co_await rt_->machine().compute(at, total);
+}
+
+sim::Task<> Locator::recv_reply(ProcId at, unsigned words) {
+  // Reply delivery to the waiting thread; the parts sum to reply_receive().
+  const CostModel& c = rt_->cost();
+  const Cycles total =
+      add_parts({{Category::kCopyPacket, c.copy(words)},
+                 {Category::kRecvAllocPacket, c.alloc_packet_recv()},
+                 {Category::kUnmarshal, c.unmarshal(words)},
+                 {Category::kScheduler, c.scheduler},
+                 {Category::kRecvLinkage, c.recv_linkage}});
+  co_await rt_->machine().compute(at, total);
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+
+sim::Task<ProcId> Locator::resolve(core::Ctx& ctx, ObjectId id) {
+  const ProcId p = ctx.proc;
+  // Local check: on a real node this is the local-table branch of the
+  // locality check the runtime already charged — free here.
+  if (owner_truth(id) == p) {
+    ++stats_.local_hits;
+    co_return p;
+  }
+  ++stats_.lookups;
+  trace(TraceEvent::kLocLookup, p, {{"obj", id}});
+  const CostModel& c = rt_->cost();
+  // Probe the software translation cache: Table 5's 36-cycle GOID
+  // translation walk, free with J-Machine-style hardware translation.
+  const Cycles probe_cost =
+      add_parts({{Category::kOidTranslation, c.oid()}});
+  co_await rt_->machine().compute(p, probe_cost);
+  ProcState& ps = procs_[p];
+  if (const auto hint = ps.cache.get(id)) {
+    if (*hint != p) {
+      ++stats_.cache_hits;
+      trace(TraceEvent::kLocHit, p, {{"obj", id}, {"hint", *hint}});
+      co_return *hint;
+    }
+    // A hint naming ourselves is self-evidently stale: the local table
+    // just said the object is not here. Drop it and miss.
+    ps.cache.erase(id);
+    ++stats_.stale_self_hints;
+  }
+  ++stats_.cache_misses;
+  trace(TraceEvent::kLocMiss, p, {{"obj", id}});
+  ProcId target = co_await dir_query(p, id);
+  if (target == p) {
+    // The directory still names us (a move's commit is in flight), but the
+    // object is gone — we hosted it once, so our own forwarding pointer is
+    // fresher than the directory.
+    const auto it = ps.fwd.find(id);
+    if (it != ps.fwd.end()) target = it->second;
+  }
+  co_return target;
+}
+
+sim::Task<ProcId> Locator::dir_query(ProcId p, ObjectId id) {
+  ++stats_.dir_queries;
+  DirEntry& e = dir_[id];
+  const ProcId shard = e.shard;
+  const CostModel& c = rt_->cost();
+  if (shard == p) {
+    // The shard is co-resident: an ordinary local table walk.
+    ++stats_.dir_local;
+    const Cycles walk_cost =
+        add_parts({{Category::kOidTranslation, c.oid()}});
+    co_await rt_->machine().compute(p, walk_cost);
+    const ProcId owner = e.owner;
+    cache_put(p, id, owner);
+    co_return owner;
+  }
+  co_await send_ctl(p, cfg_.lookup_words);
+  co_await rt_->transfer(p, shard, cfg_.lookup_words);
+  co_await recv_ctl(shard, cfg_.lookup_words);
+  const ProcId owner = e.owner;  // read at the shard, at shard time
+  co_await send_ctl(shard, cfg_.reply_words);
+  co_await rt_->transfer(shard, p, cfg_.reply_words);
+  co_await recv_reply(p, cfg_.reply_words);
+  cache_put(p, id, owner);
+  co_return owner;
+}
+
+sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
+                                   ProcId requester) {
+  ++stats_.deliveries;
+  if (owner_truth(id) == at) co_return at;  // hint was good
+  const CostModel& c = rt_->cost();
+  std::vector<ProcId> hops;
+  ProcId cur = at;
+  // Chase the chain. Each pointer was written strictly later than the one
+  // before it (a host only writes its pointer when the object departs), and
+  // a bounce hop is far cheaper than a full object move, so the chase
+  // always catches up with the object — see DESIGN.md §9 for the bound.
+  while (owner_truth(id) != cur) {
+    hops.push_back(cur);
+    ProcId next;
+    auto& fw = procs_[cur].fwd;
+    if (const auto it = fw.find(id); it != fw.end()) {
+      next = it->second;
+    } else {
+      // No pointer here. By protocol invariants every hint names a host
+      // that once held the object (and therefore left a pointer when it
+      // departed), so this is defensive: re-consult the directory.
+      ++stats_.fwd_fallbacks;
+      next = co_await dir_query(cur, id);
+      if (next == cur) {
+        std::fprintf(stderr,
+                     "Locator::forward: object %u lost (no forwarding "
+                     "pointer at proc %u and directory names it)\n",
+                     id, cur);
+        std::abort();
+      }
+    }
+    ++stats_.bounces;
+    trace(TraceEvent::kLocBounce, cur, {{"obj", id}, {"next", next}});
+    if (chooser_ != nullptr) chooser_->record_bounce(id);
+    // The stale host pulls the packet in, fails the forwarding check,
+    // translates the pointer, and relaunches the message — "sorry, moved;
+    // here's my hint".
+    const Cycles hop_cost =
+        add_parts({{Category::kCopyPacket, c.copy(words)},
+                   {Category::kForwardingCheck, c.forwarding_check},
+                   {Category::kOidTranslation, c.oid()},
+                   {Category::kMessageSend, c.message_send}});
+    co_await rt_->machine().compute(cur, hop_cost);
+    co_await rt_->transfer(cur, next, words);
+    cur = next;
+  }
+  ++stats_.forwarded;
+  const auto chain = static_cast<std::uint64_t>(hops.size());
+  if (chain > stats_.max_chain) stats_.max_chain = chain;
+  // Path compression, piggybacked on the reply that will flow back anyway:
+  // every stale hop and the requester learn the object's resting place, so
+  // the next request takes at most one bounce from any of them.
+  ++stats_.compressions;
+  trace(TraceEvent::kLocCompress, cur, {{"obj", id}, {"chain", chain}});
+  for (const ProcId h : hops) {
+    if (h == cur) continue;
+    procs_[h].fwd[id] = cur;
+    cache_put(h, id, cur);
+  }
+  cache_put(requester, id, cur);
+  co_return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Home-serialised object movement. Four control legs instead of the oracle's
+// two (the price of decentralisation): MOVE-REQUEST mover->shard, FETCH
+// shard->owner, the state owner->mover, COMMIT mover->shard. The shard's
+// per-object mutex stands in for the queue of MOVE-REQUESTs a real
+// directory entry would serialise; it is only ever locked by code running
+// at the shard, so it is a local lock, not an oracle.
+
+sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
+                                     unsigned size_words) {
+  const ProcId mover = ctx.proc;
+  DirEntry& e = dir_[id];
+  const ProcId shard = e.shard;
+  const CostModel& c = rt_->cost();
+  const unsigned ctl = cfg_.control_words;
+
+  // MOVE-REQUEST: tell the object's directory shard we want it here.
+  if (shard != mover) {
+    co_await send_ctl(mover, ctl);
+    co_await rt_->transfer(mover, shard, ctl);
+    co_await recv_ctl(shard, ctl);
+  } else {
+    const Cycles req_cost =
+        add_parts({{Category::kOidTranslation, c.oid()}});
+    co_await rt_->machine().compute(mover, req_cost);
+  }
+
+  // Movers of this object queue FIFO at the shard.
+  co_await e.movers.lock();
+  const ProcId owner = e.owner;
+  if (owner == mover) {
+    // Post-lock re-check: a racing mover from our processor (or a move we
+    // chained behind) already brought the object here while we queued.
+    ++stats_.move_races;
+    e.movers.unlock();
+    if (shard != mover) {
+      co_await send_ctl(shard, cfg_.reply_words);
+      co_await rt_->transfer(shard, mover, cfg_.reply_words);
+      co_await recv_reply(mover, cfg_.reply_words);
+    }
+    co_return false;
+  }
+
+  // FETCH: the shard asks the current owner to ship the object.
+  if (shard != owner) {
+    co_await send_ctl(shard, ctl);
+    co_await rt_->transfer(shard, owner, ctl);
+    co_await recv_ctl(owner, ctl);
+  } else {
+    const Cycles fetch_cost =
+        add_parts({{Category::kOidTranslation, c.oid()}});
+    co_await rt_->machine().compute(shard, fetch_cost);
+  }
+
+  // The owner packs up: unbind from its local table, leave the forwarding
+  // address (the Emerald move), marshal the state, ship it.
+  procs_[owner].fwd[id] = mover;
+  const Cycles pack_cost =
+      add_parts({{Category::kObjectMove, c.sender_total(size_words)}});
+  co_await rt_->machine().compute(owner, pack_cost);
+  co_await rt_->transfer(owner, mover, size_words);
+
+  // Install at the mover: full software reception (a thread runs the
+  // installer) plus rebinding the local object table.
+  const Cycles install_cost = add_parts(
+      {{Category::kObjectMove,
+        c.receiver_total(size_words, /*create_thread=*/true) + c.oid()}});
+  co_await rt_->machine().compute(mover, install_cost);
+  rt_->objects().move(id, mover);
+  procs_[mover].fwd.erase(id);  // it lives here now; no pointer needed
+  procs_[mover].cache.erase(id);
+
+  // COMMIT: tell the shard where the object landed; the entry flips and
+  // the next queued mover (if any) proceeds against the new owner.
+  if (shard != mover) {
+    co_await send_ctl(mover, ctl);
+    co_await rt_->transfer(mover, shard, ctl);
+    co_await recv_ctl(shard, ctl);
+  } else {
+    const Cycles commit_cost =
+        add_parts({{Category::kOidTranslation, c.oid()}});
+    co_await rt_->machine().compute(mover, commit_cost);
+  }
+  e.owner = mover;
+  e.movers.unlock();
+  ++stats_.moves;
+  co_return true;
+}
+
+// ---------------------------------------------------------------------------
+
+void put_loc_stats(core::Metrics& m, const LocStats& s) {
+  m.put("loc.local_hits", s.local_hits);
+  m.put("loc.lookups", s.lookups);
+  m.put("loc.cache_hits", s.cache_hits);
+  m.put("loc.cache_misses", s.cache_misses);
+  m.put("loc.cache_evictions", s.cache_evictions);
+  m.put("loc.hit_rate", s.hit_rate());
+  m.put("loc.stale_self_hints", s.stale_self_hints);
+  m.put("loc.dir_queries", s.dir_queries);
+  m.put("loc.dir_local", s.dir_local);
+  m.put("loc.deliveries", s.deliveries);
+  m.put("loc.forwarded", s.forwarded);
+  m.put("loc.bounces", s.bounces);
+  m.put("loc.mean_chain", s.mean_chain());
+  m.put("loc.max_chain", s.max_chain);
+  m.put("loc.compressions", s.compressions);
+  m.put("loc.fwd_fallbacks", s.fwd_fallbacks);
+  m.put("loc.moves", s.moves);
+  m.put("loc.move_races", s.move_races);
+}
+
+}  // namespace cm::loc

@@ -51,6 +51,12 @@ enum class TraceEvent : unsigned {
   kFaultDuplicate,
   kFaultDelay,
   kFaultNicDrop,
+  // loc::Locator: distributed object location.
+  kLocLookup,    // remote resolution started (object not local)
+  kLocHit,       // translation cache supplied the hint
+  kLocMiss,      // cache miss; a directory shard was queried
+  kLocBounce,    // request landed on a stale host; forwarded one hop
+  kLocCompress,  // chain collapsed after the request found the object
   // applications.
   kBalancerVisit,   // counting network: token traverses a balancer
   kBTreeNodeVisit,  // B-tree: operation examines a node
@@ -77,6 +83,11 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kFaultDuplicate: return "fault.duplicate";
     case TraceEvent::kFaultDelay: return "fault.delay";
     case TraceEvent::kFaultNicDrop: return "fault.nic_drop";
+    case TraceEvent::kLocLookup: return "loc.lookup";
+    case TraceEvent::kLocHit: return "loc.hit";
+    case TraceEvent::kLocMiss: return "loc.miss";
+    case TraceEvent::kLocBounce: return "loc.bounce";
+    case TraceEvent::kLocCompress: return "loc.compress";
     case TraceEvent::kBalancerVisit: return "balancer.visit";
     case TraceEvent::kBTreeNodeVisit: return "btree.node_visit";
     case TraceEvent::kCount: break;
@@ -111,6 +122,12 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kFaultDelay:
     case TraceEvent::kFaultNicDrop:
       return "fault";
+    case TraceEvent::kLocLookup:
+    case TraceEvent::kLocHit:
+    case TraceEvent::kLocMiss:
+    case TraceEvent::kLocBounce:
+    case TraceEvent::kLocCompress:
+      return "loc";
     case TraceEvent::kBalancerVisit:
     case TraceEvent::kBTreeNodeVisit:
       return "app";

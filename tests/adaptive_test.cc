@@ -36,6 +36,20 @@ TEST(AdaptiveChooser, DominantAccessorAttractsTheObject) {
   EXPECT_EQ(c.recommend(kObj, 8, 16), Mechanism::kObjectMigration);
 }
 
+TEST(AdaptiveChooser, PingPongingObjectsAreNotAttracted) {
+  AdaptiveChooser c;
+  // Same dominant-accessor pattern that normally yields object migration...
+  for (int i = 0; i < 100; ++i) {
+    c.record(kObj, i % 20 == 0 ? 3u : 5u, /*write=*/true);
+  }
+  ASSERT_EQ(c.recommend(kObj, 8, 16), Mechanism::kObjectMigration);
+  // ...but the locator reports that most requests land on stale hosts: the
+  // object moves faster than hints spread, so attracting it is pathological.
+  for (int i = 0; i < 60; ++i) c.record_bounce(kObj);
+  EXPECT_GT(c.bounce_rate(kObj), 0.5);
+  EXPECT_NE(c.recommend(kObj, 8, 16), Mechanism::kObjectMigration);
+}
+
 TEST(AdaptiveChooser, HugeObjectsAreNotAttracted) {
   AdaptiveChooser c;
   for (int i = 0; i < 100; ++i) {

@@ -162,6 +162,78 @@ TEST(BTreeSoak, ZeroRatePlanIsBitIdenticalToNoPlan) {
   EXPECT_EQ(gated.runtime.reliable_sends, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Distributed object location under chaos: directory queries, move protocol
+// legs and forwarding bounces all ride the reliable transport, so message
+// loss must not change what the locator resolves — only when.
+// ---------------------------------------------------------------------------
+
+class LocatorSoak : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocatorSoak, LossPreservesExactTotalsWithLocatorUnderMigration) {
+  const double rate = GetParam();
+  CountingConfig base = counting_cfg(Mechanism::kMigration);
+  base.locator.mode = loc::Locality::kDistributed;
+  const RunStats clean = run_counting(base);
+
+  CountingConfig chaos = base;
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_counting(chaos);
+
+  EXPECT_EQ(faulty.total_exited, clean.total_exited);
+  EXPECT_EQ(faulty.total_exited, 16 * 25);
+  EXPECT_TRUE(faulty.step_property);
+  EXPECT_TRUE(clean.step_property);
+
+  // Both the fault path and the location path were genuinely exercised.
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_TRUE(faulty.locator_enabled);
+  EXPECT_GT(faulty.loc.lookups, 0u);
+  EXPECT_GT(faulty.loc.dir_queries, 0u);
+}
+
+TEST_P(LocatorSoak, LossPreservesExactTotalsWithLocatorUnderObjectMigration) {
+  const double rate = GetParam();
+  CountingConfig base = counting_cfg(Mechanism::kObjectMigration);
+  base.locator.mode = loc::Locality::kDistributed;
+  const RunStats clean = run_counting(base);
+
+  CountingConfig chaos = base;
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_counting(chaos);
+
+  EXPECT_EQ(faulty.total_exited, clean.total_exited);
+  EXPECT_TRUE(faulty.step_property);
+
+  // Objects really moved through the 4-leg protocol while messages dropped,
+  // and every move still committed exactly once.
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_GT(faulty.loc.moves, 0u);
+  EXPECT_EQ(faulty.runtime.stale_deliveries, 0u);
+}
+
+TEST_P(LocatorSoak, LossPreservesExactContentsWithLocatorOnBTree) {
+  const double rate = GetParam();
+  BTreeConfig base = btree_cfg(Mechanism::kMigration);
+  base.locator.mode = loc::Locality::kDistributed;
+  const RunStats clean = run_btree(base);
+
+  BTreeConfig chaos = base;
+  chaos.faults = loss_plan(rate);
+  const RunStats faulty = run_btree(chaos);
+
+  EXPECT_EQ(faulty.btree_keys, clean.btree_keys);
+  EXPECT_EQ(faulty.btree_digest, clean.btree_digest);
+  EXPECT_TRUE(faulty.invariants_ok);
+  EXPECT_TRUE(clean.invariants_ok);
+
+  EXPECT_GT(faulty.runtime.retransmits, 0u);
+  EXPECT_GT(faulty.loc.dir_queries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LocatorSoak,
+                         ::testing::Values(0.01, 0.05));
+
 TEST(BTreeSoak, MigrationFallbackInsideFaultWindowStillCorrect) {
   // Brutal loss confined to a window: MOVEs that exhaust their budget fall
   // back to RPC at the object's home, and the final contents still match.

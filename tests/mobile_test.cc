@@ -90,6 +90,39 @@ TEST(MobileObject, ConcurrentAttractsSerialiseAndConverge) {
   EXPECT_GE(m.moves(), 1u);
 }
 
+TEST(MobileObject, RacingAttractorsFromOneProcessorMoveOnce) {
+  World w(4);
+  const ObjectId id = w.objects.create(3);
+  MobileObject m(w.rt, id, 16);
+  // Both attractors pass the free locality check (the object is at 3) and
+  // queue on the transfer lock; the second one's post-lock re-check finds
+  // the object already here and pays nothing further.
+  sim::detach(attract_from(&w, &m, 0));
+  sim::detach(attract_from(&w, &m, 0));
+  w.eng.run();
+  EXPECT_EQ(m.home(), 0u);
+  EXPECT_EQ(m.moves(), 1u);
+  EXPECT_EQ(w.rt.stats().object_moves, 1u);
+  EXPECT_EQ(w.rt.stats().moved_object_words, 16u);
+  EXPECT_EQ(w.net.stats().messages, 2u);  // one control + one state transfer
+}
+
+TEST(MobileObject, RacingAttractorsFromTwoProcessorsMoveTwice) {
+  World w(4);
+  const ObjectId id = w.objects.create(3);
+  MobileObject m(w.rt, id, 16);
+  // Distinct destinations: the second mover's post-lock re-check finds the
+  // object at the first mover's processor and performs a second full move.
+  sim::detach(attract_from(&w, &m, 0));
+  sim::detach(attract_from(&w, &m, 1));
+  w.eng.run();
+  EXPECT_LT(m.home(), 2u);
+  EXPECT_EQ(m.moves(), 2u);
+  EXPECT_EQ(w.rt.stats().object_moves, 2u);
+  EXPECT_EQ(w.rt.stats().moved_object_words, 32u);
+  EXPECT_EQ(w.net.stats().messages, 4u);
+}
+
 TEST(MobileObject, BigObjectsTakeLongerToMove) {
   auto move_time = [](unsigned words) {
     World w(2);
