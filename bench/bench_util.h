@@ -24,4 +24,17 @@ inline void maybe_usage(int argc, char** argv, const char* args,
   }
 }
 
+/// Remove `flag` from argv when present and report whether it was there.
+/// Keeps positional-argument handling in the benches untouched by optional
+/// flags like --check.
+inline bool take_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace cm::bench

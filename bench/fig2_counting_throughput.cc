@@ -29,7 +29,15 @@ const Scheme kSeries[] = {
     {Mechanism::kRpc, false, false},
 };
 
-void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg) {
+struct CheckTotals {
+  bool enabled = false;
+  unsigned runs = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t hb_edges = 0;
+};
+
+void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg,
+               CheckTotals* check) {
   std::printf("\n-- think time %llu cycles --\n",
               static_cast<unsigned long long>(think));
   std::printf("%-10s", "threads");
@@ -43,7 +51,19 @@ void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg) {
       cfg.requesters = n;
       cfg.think = think;
       cfg.window = Window{30'000, 200'000};
+      cfg.check = check->enabled;
       const RunStats r = run_counting(cfg);
+      if (r.checker_enabled) {
+        ++check->runs;
+        check->violations += r.check.total_violations;
+        check->hb_edges += r.check.delivers;
+        for (const auto& v : r.check_violations) {
+          std::fprintf(stderr, "check: %s at cycle %llu: %s\n",
+                       std::string(violation_name(v.kind)).c_str(),
+                       static_cast<unsigned long long>(v.at),
+                       v.detail.c_str());
+        }
+      }
       std::printf("%14.3f", r.throughput_per_1000());
       if (reg != nullptr) {
         char label[64];
@@ -61,15 +81,17 @@ void run_panel(cm::sim::Cycles think, cm::core::MetricsRegistry* reg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cm::bench::maybe_usage(argc, argv, "[out.json]",
-                         "Figure 2: counting-network throughput vs requesters for SM/CP/RPC at think 0 and 10k cycles; optional unified-schema JSON export.");
+  cm::bench::maybe_usage(argc, argv, "[--check] [out.json]",
+                         "Figure 2: counting-network throughput vs requesters for SM/CP/RPC at think 0 and 10k cycles; optional unified-schema JSON export. --check runs every point under the invariant checker (stdout unchanged; exits nonzero on any violation).");
   cm::core::MetricsRegistry reg;
+  CheckTotals check;
+  check.enabled = cm::bench::take_flag(argc, argv, "--check");
   const char* json_path = argc > 1 ? argv[1] : nullptr;
   std::printf("Figure 2: counting-network throughput (requests/1000 cycles)\n");
   std::printf("8x8 bitonic network, 24 balancers on 24 processors; each\n");
   std::printf("requester on its own processor.\n");
-  run_panel(10'000, json_path != nullptr ? &reg : nullptr);
-  run_panel(0, json_path != nullptr ? &reg : nullptr);
+  run_panel(10'000, json_path != nullptr ? &reg : nullptr, &check);
+  run_panel(0, json_path != nullptr ? &reg : nullptr, &check);
   std::printf(
       "\nPaper shape: all series rise with threads; SM and CM w/HW lead (CM\n"
       "w/HW competitive with SM at high contention); CM above RPC\n"
@@ -81,6 +103,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
+  }
+  if (check.enabled) {
+    std::fprintf(stderr,
+                 "check: %u runs, %llu happens-before edges, "
+                 "%llu violations\n",
+                 check.runs,
+                 static_cast<unsigned long long>(check.hb_edges),
+                 static_cast<unsigned long long>(check.violations));
+    if (check.violations != 0) return 1;
   }
   return 0;
 }

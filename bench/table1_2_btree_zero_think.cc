@@ -19,8 +19,11 @@ using cm::core::Mechanism;
 using cm::core::Scheme;
 
 int main(int argc, char** argv) {
-  cm::bench::maybe_usage(argc, argv, "[out.json]",
-                         "Tables 1-2: distributed B-tree throughput and bandwidth at zero think time, all schemes; optional unified-schema JSON export.");
+  cm::bench::maybe_usage(argc, argv, "[--check] [out.json]",
+                         "Tables 1-2: distributed B-tree throughput and bandwidth at zero think time, all schemes; optional unified-schema JSON export. --check runs every scheme under the invariant checker (stdout unchanged; exits nonzero on any violation).");
+  const bool check_on = cm::bench::take_flag(argc, argv, "--check");
+  std::uint64_t check_violations = 0;
+  std::uint64_t check_hb_edges = 0;
   const Scheme schemes[] = {
       {Mechanism::kSharedMemory, false, false},
       {Mechanism::kRpc, false, false},
@@ -47,7 +50,17 @@ int main(int argc, char** argv) {
     BTreeConfig cfg;
     cfg.scheme = schemes[i];
     cfg.window = Window{30'000, 250'000};
+    cfg.check = check_on;
     const RunStats r = run_btree(cfg);
+    if (r.checker_enabled) {
+      check_violations += r.check.total_violations;
+      check_hb_edges += r.check.delivers;
+      for (const auto& v : r.check_violations) {
+        std::fprintf(stderr, "check: %s at cycle %llu: %s\n",
+                     std::string(violation_name(v.kind)).c_str(),
+                     static_cast<unsigned long long>(v.at), v.detail.c_str());
+      }
+    }
     std::printf("%-18s %12.4f %12.4f | %12.2f %12.1f | %9.3f\n",
                 schemes[i].name().c_str(), r.throughput_per_1000(),
                 paper_thr[i], r.words_per_10(), paper_bw[i],
@@ -81,6 +94,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
+  }
+  if (check_on) {
+    std::fprintf(stderr,
+                 "check: 9 schemes, %llu happens-before edges, "
+                 "%llu violations\n",
+                 static_cast<unsigned long long>(check_hb_edges),
+                 static_cast<unsigned long long>(check_violations));
+    if (check_violations != 0) return 1;
   }
   return 0;
 }

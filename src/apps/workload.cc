@@ -8,6 +8,7 @@
 
 #include "apps/btree.h"
 #include "apps/counting_network.h"
+#include "check/report.h"
 #include "core/object.h"
 #include "core/runtime.h"
 #include "net/constant_net.h"
@@ -100,14 +101,17 @@ RunStats run_counting(const CountingConfig& cfg) {
   CountingNetwork::Params np;
   np.width = cfg.width;
   np.first_balancer_proc = 0;
-  const unsigned nbal = 0;  // computed below from the wiring
-  (void)nbal;
 
   // Balancers occupy the first B processors; requesters get their own.
   const unsigned balancers =
       BitonicWiring::build(cfg.width).balancers.size();
   const auto nprocs = static_cast<ProcId>(balancers + cfg.requesters);
   sim::Machine machine(eng, nprocs);
+  std::unique_ptr<check::Checker> checker;
+  if (cfg.check) {
+    checker = std::make_unique<check::Checker>(eng, nprocs, cfg.check_cfg);
+    eng.set_checker(checker.get());
+  }
   net::ConstantNetwork constant_net(eng);
   net::MeshNetwork mesh_net(eng, nprocs, {});
   net::Network& base_network =
@@ -181,6 +185,12 @@ RunStats run_counting(const CountingConfig& cfg) {
     out.locator_enabled = true;
     out.loc = locator->stats();
   }
+  if (checker != nullptr) {
+    checker->finalize();
+    out.checker_enabled = true;
+    out.check = checker->stats();
+    out.check_violations = checker->records();
+  }
   if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
     out.trace_path = cfg.trace_path;
   }
@@ -196,6 +206,11 @@ RunStats run_btree(const BTreeConfig& cfg) {
   }
   const auto nprocs = static_cast<ProcId>(cfg.node_procs + cfg.requesters);
   sim::Machine machine(eng, nprocs);
+  std::unique_ptr<check::Checker> checker;
+  if (cfg.check) {
+    checker = std::make_unique<check::Checker>(eng, nprocs, cfg.check_cfg);
+    eng.set_checker(checker.get());
+  }
   net::ConstantNetwork constant_net(eng);
   net::MeshNetwork mesh_net(eng, nprocs, {});
   net::Network& base_network =
@@ -281,6 +296,12 @@ RunStats run_btree(const BTreeConfig& cfg) {
     out.locator_enabled = true;
     out.loc = locator->stats();
   }
+  if (checker != nullptr) {
+    checker->finalize();
+    out.checker_enabled = true;
+    out.check = checker->stats();
+    out.check_violations = checker->records();
+  }
   if (tracer != nullptr && tracer->write_chrome_json(cfg.trace_path)) {
     out.trace_path = cfg.trace_path;
   }
@@ -305,6 +326,7 @@ void put_run_stats(core::Metrics& m, const RunStats& s) {
   m.put("invariants_ok", s.invariants_ok);
   if (!s.trace_path.empty()) m.put("trace", s.trace_path);
   if (s.locator_enabled) loc::put_loc_stats(m, s.loc);
+  if (s.checker_enabled) check::put_check_stats(m, s.check);
   core::put_rt_stats(m, s.runtime);
   core::put_net_stats(m, s.net);
 }

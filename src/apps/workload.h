@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
+#include "check/checker.h"
 #include "core/mechanism.h"
 #include "core/metrics.h"
 #include "core/reliable.h"
@@ -53,6 +56,13 @@ struct RunStats {
   // locator; `locator_enabled` gates the metrics export).
   bool locator_enabled = false;
   loc::LocStats loc;
+
+  // Invariant checking (only meaningful when a run enables the checker;
+  // `checker_enabled` gates the "check.*" metrics export). `check_violations`
+  // carries the bounded structured records for report assertions.
+  bool checker_enabled = false;
+  check::CheckStats check;
+  std::vector<check::ViolationRecord> check_violations;
 
   std::string trace_path;  // Chrome trace written for this run ("" = none)
 
@@ -102,6 +112,12 @@ struct CountingConfig {
   // lookup through directory shards, translation caches and forwarding
   // chains.
   loc::LocatorConfig locator;
+  // Invariant checking: install a check::Checker for the run (vector clocks,
+  // lock graph, protocol invariants). Like the tracer, checking never
+  // schedules events or charges cycles, so simulation results are identical
+  // with it on or off.
+  bool check = false;
+  check::CheckConfig check_cfg;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -125,6 +141,8 @@ struct BTreeConfig {
   long ops_per_requester = 0;
   std::string trace_path;
   loc::LocatorConfig locator;  // see CountingConfig
+  bool check = false;          // see CountingConfig
+  check::CheckConfig check_cfg;
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

@@ -1,0 +1,78 @@
+// Report export for the checker, kept header-only so cm_check itself
+// depends only on cm_sim: the layers the checker observes (core, net) link
+// against cm_check, so a checker.cc that included core/metrics.h would close
+// a dependency cycle. Anything that already links cm_core can include this.
+#pragma once
+
+#include <string>
+
+#include "check/checker.h"
+#include "core/metrics.h"
+
+namespace cm::check {
+
+/// Flat "check.*" keys in the unified metrics schema, alongside "rt.",
+/// "net.", "breakdown." and "loc.". Violation counters are emitted for
+/// every kind (zeros included) so downstream diffs see a stable key set.
+inline void put_check_stats(core::Metrics& m, const CheckStats& s) {
+  m.put("check.sends", s.sends);
+  m.put("check.delivers", s.delivers);
+  m.put("check.accesses", s.accesses);
+  m.put("check.lock_attempts", s.lock_attempts);
+  m.put("check.lock_acquires", s.lock_acquires);
+  m.put("check.moves", s.moves);
+  m.put("check.chases", s.chases);
+  m.put("check.chase_hops", s.chase_hops);
+  m.put("check.seqs_sent", s.seqs_sent);
+  m.put("check.seqs_delivered", s.seqs_delivered);
+  m.put("check.seqs_abandoned", s.seqs_abandoned);
+  m.put("check.calls", s.calls);
+  m.put("check.replies", s.replies);
+  m.put("check.line_checks", s.line_checks);
+  m.put("check.finalized", s.finalized);
+  m.put("check.violations", s.total_violations);
+  for (unsigned k = 0; k < static_cast<unsigned>(Violation::kCount); ++k) {
+    m.put("check.violation." +
+              std::string(violation_name(static_cast<Violation>(k))),
+          s.by_kind[k]);
+  }
+}
+
+/// Standalone JSON report: the flat stats record plus the bounded violation
+/// record list. Identifiers inside records are the checker's dense ids, so
+/// two same-seed runs produce byte-identical reports. This overload takes
+/// the pieces a finished run carries around (apps::RunStats keeps both
+/// after the Checker itself is gone).
+inline std::string check_report_json(
+    const CheckStats& stats, const std::vector<ViolationRecord>& records) {
+  core::Metrics m;
+  put_check_stats(m, stats);
+  std::string out = "{\n  \"stats\": {";
+  m.append_json_fields(out);
+  out += "},\n  \"records\": [";
+  bool first = true;
+  for (const ViolationRecord& r : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"kind\": \"";
+    out += violation_name(r.kind);
+    out += "\", \"at\": " + std::to_string(r.at);
+    out += ", \"proc\": " +
+           (r.proc == sim::kNoProc ? std::string("-1")
+                                   : std::to_string(r.proc));
+    out += ", \"detail\": \"";
+    for (char ch : r.detail) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    out += "\"}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+inline std::string check_report_json(const Checker& c) {
+  return check_report_json(c.stats(), c.records());
+}
+
+}  // namespace cm::check

@@ -24,12 +24,23 @@ sim::Task<> MobileObject::attract(Ctx& ctx) {
   // the object here, or elsewhere, while we waited). The transfer_lock_ is
   // itself an oracle — a zero-cost globally-visible mutex — matching the
   // ObjectSpace oracle this mode runs against.
+  check::Checker* ck = rt_->checker();
+  if (ck != nullptr) {
+    ck->on_lock_attempt(&ctx, &transfer_lock_, "MobileObject.transfer_lock");
+  }
   co_await transfer_lock_.lock();
+  if (ck != nullptr) {
+    ck->on_lock_acquired(&ctx, &transfer_lock_, "MobileObject.transfer_lock");
+  }
   const ProcId cur = home();
   if (cur == ctx.proc) {
+    // Release hook before unlock(): unlock hands the mutex to the next
+    // waiter synchronously, so the checker must see our release first.
+    if (ck != nullptr) ck->on_lock_released(&ctx, &transfer_lock_);
     transfer_lock_.unlock();
     co_return;
   }
+  if (ck != nullptr) ck->on_move_begin(id_, ctx.proc);
   ++moves_;
   ++rt_->mutable_stats().object_moves;
   rt_->mutable_stats().moved_object_words += size_words_;
@@ -51,7 +62,11 @@ sim::Task<> MobileObject::attract(Ctx& ctx) {
                            c.oid_translation,
                        Category::kObjectMove);
   rt_->objects().move(id_, ctx.proc);
-
+  if (ck != nullptr) {
+    ck->on_move_commit(id_, cur, ctx.proc);
+    ck->on_move_end(id_);
+    ck->on_lock_released(&ctx, &transfer_lock_);
+  }
   transfer_lock_.unlock();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <coroutine>
 
+#include "check/checker.h"
 #include "sim/task.h"
 #include "sim/timer.h"
 #include "sim/tracer.h"
@@ -36,6 +37,9 @@ sim::Task<bool> ReliableTransport::send(sim::ProcId src, sim::ProcId dst,
   st->seq = channel(src, dst).next_seq++;
   st->timeout = cfg_.base_timeout;
   ++stats_->reliable_sends;
+  if (check::Checker* ck = engine_->checker()) {
+    ck->on_seq_sent(src, dst, st->seq);
+  }
   // The awaiter is bound to a named local before awaiting: the capture owns
   // a shared_ptr, and `co_await` on a prvalue awaiter miscounts the
   // temporary's lifetime under GCC 12.2 (destroys the captured state twice).
@@ -68,6 +72,11 @@ void ReliableTransport::attempt(const std::shared_ptr<SendState>& st) {
 
 void ReliableTransport::on_data(const std::shared_ptr<SendState>& st) {
   const bool fresh = channel(st->src, st->dst).delivered.insert(st->seq).second;
+  if (check::Checker* ck = engine_->checker()) {
+    // The checker replays the delivery history independently and flags any
+    // disagreement with the transport's own dedup verdict.
+    ck->on_seq_delivered(st->src, st->dst, st->seq, fresh);
+  }
   if (!fresh) {
     ++stats_->dedup_hits;
     if (sim::Tracer* tr = engine_->tracer()) {
@@ -104,6 +113,11 @@ void ReliableTransport::on_timeout(const std::shared_ptr<SendState>& st) {
   }
   if (st->budget != 0 && st->attempts >= st->budget) {
     ++stats_->delivery_failures;
+    if (check::Checker* ck = engine_->checker()) {
+      // Bounded-budget give-up: excuse this seq from the end-of-run gapless
+      // check — the migration fallback path owns correctness from here.
+      ck->on_seq_abandoned(st->src, st->dst, st->seq);
+    }
     if (!st->done) {
       st->done = true;  // gave up before any copy arrived: wake the sender
       st->waiter.resume();

@@ -78,6 +78,10 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   }
   if (dest == ctx.proc) {
     // Already local: the annotation costs nothing (paper §3.1).
+    if (check::Checker* ck = checker()) {
+      ck->on_object_access(ctx.proc, obj, objects_->home_of(obj),
+                           /*write=*/false);
+    }
     ++stats_.migrations_local;
     co_return;
   }
@@ -114,6 +118,11 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
     // Chase forwarding pointers if the object moved while the continuation
     // was in flight; the activation lands wherever the object now lives.
     dest = co_await locator_->forward(obj, dest, live_words, from);
+    if (check::Checker* ck = checker()) {
+      // Synchronous after the chase: forward()'s claim is testable truth.
+      ck->on_object_access(dest, obj, objects_->home_of(obj),
+                           /*write=*/false);
+    }
   }
 
   // Continuation server stub at the destination: unmarshal the live
@@ -144,8 +153,8 @@ sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
   ctx.proc = origin;
 }
 
-sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
-                                   unsigned live_words) {
+sim::Task<> Runtime::migrate_group(const std::vector<Ctx*>& group,
+                                   ObjectId obj, unsigned live_words) {
   if (group.empty()) co_return;
   Ctx& top = *group.front();
   co_await charge(top.proc, cost_.locality_check, Category::kLocalityCheck);
@@ -156,6 +165,10 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
     dest = co_await locator_->resolve(top, obj);
   }
   if (dest == top.proc) {
+    if (check::Checker* ck = checker()) {
+      ck->on_object_access(top.proc, obj, objects_->home_of(obj),
+                           /*write=*/false);
+    }
     ++stats_.migrations_local;
     co_return;
   }
@@ -189,6 +202,10 @@ sim::Task<> Runtime::migrate_group(std::vector<Ctx*> group, ObjectId obj,
   stats_.migrated_words += live_words;
   if (locator_ != nullptr) {
     dest = co_await locator_->forward(obj, dest, live_words, from);
+    if (check::Checker* ck = checker()) {
+      ck->on_object_access(dest, obj, objects_->home_of(obj),
+                           /*write=*/false);
+    }
   }
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
   ++stats_.threads_created;

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.h"
 #include "core/cost_model.h"
 #include "core/location.h"
 #include "core/object.h"
@@ -87,6 +88,11 @@ class Runtime {
   /// The engine's tracer, or null when tracing is disabled.
   [[nodiscard]] sim::Tracer* tracer() const noexcept {
     return machine_->engine().tracer();
+  }
+
+  /// The engine's invariant checker, or null when checking is disabled.
+  [[nodiscard]] check::Checker* checker() const noexcept {
+    return machine_->engine().checker();
   }
 
   /// Charge cycles on processor `p`, attributed to `cat`.
@@ -147,7 +153,7 @@ class Runtime {
   /// Future-work extension (§6): migrate a group of activations together
   /// (e.g. caller + callee). Ships the summed live words in one message and
   /// re-binds every context in `group` to the destination.
-  [[nodiscard]] sim::Task<> migrate_group(std::vector<Ctx*> group,
+  [[nodiscard]] sim::Task<> migrate_group(const std::vector<Ctx*>& group,
                                           ObjectId obj, unsigned live_words);
 
   /// Invoke an instance method on `obj`. The body always executes at the
@@ -174,6 +180,14 @@ class Runtime {
     }
 
     if (home == caller.proc) {
+      if (check::Checker* ck = checker()) {
+        // The dispatcher claims locality, so the body is about to touch the
+        // object's state on this processor: the claim must be ground truth.
+        // Sound here because nothing suspends between the resolution's own
+        // truth test and this line.
+        ck->on_object_access(caller.proc, obj, objects_->home_of(obj),
+                             /*write=*/true);
+      }
       ++stats_.local_calls;
       Ctx callee{this, home};
       co_return co_await body(callee);
@@ -181,6 +195,12 @@ class Runtime {
 
     // ---- client stub ----
     ++stats_.remote_calls;
+    std::uint64_t check_call = 0;
+    if (check::Checker* ck = checker()) {
+      // Replied-exactly-once window: the short-circuit return must deliver
+      // this call's reply once, from wherever the activation ends up.
+      check_call = ck->on_call_begin(caller.proc, obj);
+    }
     if (sim::Tracer* tr = tracer()) {
       tr->record(sim::TraceEvent::kRpcIssue, caller.proc,
                  {{"obj", obj}, {"home", home}, {"words", opts.arg_words}});
@@ -193,6 +213,15 @@ class Runtime {
       // chain until the request reaches the object's current host.
       home = co_await locator_->forward(obj, home, opts.arg_words,
                                         caller.proc);
+      if (check::Checker* ck = checker()) {
+        // forward() just returned the object's current host with no
+        // suspension since, so its claim can be tested against ground truth
+        // here. (Under the oracle there is no equivalent promise: the body
+        // executes at the home fixed at resolution time — Prelude dispatch
+        // semantics — even if the object was attracted away mid-flight.)
+        ck->on_object_access(home, obj, objects_->home_of(obj),
+                             /*write=*/true);
+      }
     }
 
     // ---- server stub (now executing at `home`) ----
@@ -216,6 +245,9 @@ class Runtime {
 
     // ---- back at the caller: deliver the reply to the blocked thread ----
     co_await receive_reply(reply_to, opts.ret_words);
+    if (check::Checker* ck = checker()) {
+      ck->on_reply(check_call, reply_to);
+    }
     if (sim::Tracer* tr = tracer()) {
       tr->record(sim::TraceEvent::kRpcReply, reply_to,
                  {{"obj", obj}, {"from", callee.proc}});

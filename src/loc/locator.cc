@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/checker.h"
 #include "core/adaptive.h"
 
 namespace cm::loc {
@@ -260,6 +261,9 @@ sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
   ++stats_.deliveries;
   if (owner_truth(id) == at) co_return at;  // hint was good
   const CostModel& c = rt_->cost();
+  check::Checker* ck = rt_->checker();
+  std::uint64_t chase = 0;
+  if (ck != nullptr) chase = ck->on_chase_begin(id, at);
   std::vector<ProcId> hops;
   ProcId cur = at;
   // Chase the chain. Each pointer was written strictly later than the one
@@ -287,6 +291,7 @@ sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
       }
     }
     ++stats_.bounces;
+    if (ck != nullptr) ck->on_chase_hop(chase, cur, next);
     trace(TraceEvent::kLocBounce, cur, {{"obj", id}, {"next", next}});
     if (chooser_ != nullptr) chooser_->record_bounce(id);
     // The stale host pulls the packet in, fails the forwarding check,
@@ -312,9 +317,15 @@ sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
   for (const ProcId h : hops) {
     if (h == cur) continue;
     procs_[h].fwd[id] = cur;
+    if (ck != nullptr) ck->on_fwd_pointer(h, id, cur);
     cache_put(h, id, cur);
   }
   cache_put(requester, id, cur);
+  if (ck != nullptr) {
+    // Synchronous with the compression loop above: every crossed hop must
+    // now point straight at the resting place.
+    ck->on_chase_end(chase, cur);
+  }
   co_return cur;
 }
 
@@ -346,12 +357,16 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
   }
 
   // Movers of this object queue FIFO at the shard.
+  check::Checker* ck = rt_->checker();
+  if (ck != nullptr) ck->on_lock_attempt(&ctx, &e.movers, "loc.dir_movers");
   co_await e.movers.lock();
+  if (ck != nullptr) ck->on_lock_acquired(&ctx, &e.movers, "loc.dir_movers");
   const ProcId owner = e.owner;
   if (owner == mover) {
     // Post-lock re-check: a racing mover from our processor (or a move we
     // chained behind) already brought the object here while we queued.
     ++stats_.move_races;
+    if (ck != nullptr) ck->on_lock_released(&ctx, &e.movers);
     e.movers.unlock();
     if (shard != mover) {
       co_await send_ctl(shard, cfg_.reply_words);
@@ -362,6 +377,7 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
   }
 
   // FETCH: the shard asks the current owner to ship the object.
+  if (ck != nullptr) ck->on_move_begin(id, mover);
   if (shard != owner) {
     co_await send_ctl(shard, ctl);
     co_await rt_->transfer(shard, owner, ctl);
@@ -375,6 +391,7 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
   // The owner packs up: unbind from its local table, leave the forwarding
   // address (the Emerald move), marshal the state, ship it.
   procs_[owner].fwd[id] = mover;
+  if (ck != nullptr) ck->on_fwd_pointer(owner, id, mover);
   const Cycles pack_cost =
       add_parts({{Category::kObjectMove, c.sender_total(size_words)}});
   co_await rt_->machine().compute(owner, pack_cost);
@@ -387,7 +404,9 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
         c.receiver_total(size_words, /*create_thread=*/true) + c.oid()}});
   co_await rt_->machine().compute(mover, install_cost);
   rt_->objects().move(id, mover);
+  if (ck != nullptr) ck->on_move_commit(id, owner, mover);
   procs_[mover].fwd.erase(id);  // it lives here now; no pointer needed
+  if (ck != nullptr) ck->on_fwd_erase(mover, id);
   procs_[mover].cache.erase(id);
 
   // COMMIT: tell the shard where the object landed; the entry flips and
@@ -402,6 +421,13 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
     co_await rt_->machine().compute(mover, commit_cost);
   }
   e.owner = mover;
+  if (ck != nullptr) {
+    // The serialisation window closes with the directory entry flip; the
+    // release hook precedes unlock() because unlock resumes the next queued
+    // mover synchronously.
+    ck->on_move_end(id);
+    ck->on_lock_released(&ctx, &e.movers);
+  }
   e.movers.unlock();
   ++stats_.moves;
   co_return true;

@@ -1,5 +1,6 @@
 #include "net/constant_net.h"
 
+#include "check/checker.h"
 #include "sim/tracer.h"
 
 namespace cm::net {
@@ -22,6 +23,16 @@ void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
                 {"msg", id}});
     deliver = [tr, dst, id, d = std::move(deliver)] {
       tr->record(sim::TraceEvent::kMsgDeliver, dst, {{"msg", id}});
+      d();
+    };
+  }
+  if (check::Checker* ck = engine_->checker()) {
+    // Every cross-processor delivery is a happens-before edge: the token
+    // snapshots the sender's vector clock now, the wrapper joins it into the
+    // receiver's clock at delivery time. Loopback above is program order.
+    const std::uint64_t hb = ck->on_send(src, dst);
+    deliver = [ck, dst, hb, d = std::move(deliver)] {
+      ck->on_deliver(dst, hb);
       d();
     };
   }

@@ -61,9 +61,10 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
       tr->record(sim::TraceEvent::kFaultDuplicate, src,
                  {{"dst", dst}, {"words", words}, {"extra", extra}});
     }
-    engine_->after(extra, [this, src, dst, words, kind, deliver] {
-      inner_->send(src, dst, words, kind, deliver);
-    });
+    engine_->after(extra,
+                   [this, src, dst, words, kind, d = deliver]() mutable {
+                     inner_->send(src, dst, words, kind, std::move(d));
+                   });
   }
   if (r.delay > 0.0 && rng_.chance(r.delay)) {
     // Holding the message back reorders it w.r.t. anything sent on the link

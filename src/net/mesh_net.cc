@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/checker.h"
 #include "sim/tracer.h"
 
 namespace cm::net {
@@ -81,6 +82,15 @@ void MeshNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
                 {"msg", id}});
     deliver = [tr, dst, id, d = std::move(deliver)] {
       tr->record(sim::TraceEvent::kMsgDeliver, dst, {{"msg", id}});
+      d();
+    };
+  }
+  if (check::Checker* ck = engine_->checker()) {
+    // Same happens-before edge as ConstantNetwork: snapshot the sender's
+    // clock on send, join it into the receiver's on delivery.
+    const std::uint64_t hb = ck->on_send(src, dst);
+    deliver = [ck, dst, hb, d = std::move(deliver)] {
+      ck->on_deliver(dst, hb);
       d();
     };
   }

@@ -3,7 +3,23 @@
 #include <bit>
 #include <cassert>
 
+#include "check/checker.h"
+
 namespace cm::shmem {
+namespace {
+
+/// Directory-state facts at a transition's commit point, for the invariant
+/// "Modified implies a valid owner that is the sole sharer; clean implies no
+/// owner". Called wherever a transaction finishes mutating a Dir entry.
+void check_line(check::Checker* ck, Line line, bool modified,
+                std::size_t sharer_count, bool owner_valid,
+                bool owner_is_sharer) {
+  if (ck == nullptr) return;
+  ck->on_line_state(line, modified, static_cast<unsigned>(sharer_count),
+                    owner_valid, owner_is_sharer);
+}
+
+}  // namespace
 
 CoherentMemory::CoherentMemory(sim::Machine& machine, net::Network& network,
                                CacheParams cache_params, ProtocolParams params)
@@ -216,6 +232,9 @@ sim::Task<> CoherentMemory::serve_front(Line line) {
       d.owner = w.requester;
       d.sharers.reset();
       d.sharers.set(w.requester);
+      check_line(machine_->engine().checker(), line, d.modified,
+                 d.sharers.count(), d.owner != sim::kNoProc,
+                 d.owner != sim::kNoProc && d.sharers.test(d.owner));
       co_await transfer(home, w.requester,
                         upgrade ? params_.words_request : params_.words_data);
     } else {
@@ -239,6 +258,9 @@ sim::Task<> CoherentMemory::serve_front(Line line) {
         d.owner = sim::kNoProc;
       }
       d.sharers.set(w.requester);
+      check_line(machine_->engine().checker(), line, d.modified,
+                 d.sharers.count(), d.owner != sim::kNoProc,
+                 d.owner != sim::kNoProc && d.sharers.test(d.owner));
       // Adding a sharer beyond the hardware pointer set traps to software.
       co_await maybe_trap(home, d.sharers.count());
       co_await transfer(home, w.requester, params_.words_data);
@@ -271,6 +293,9 @@ void CoherentMemory::handle_eviction(sim::ProcId p, const Eviction& victim) {
                        d.modified = false;
                        d.owner = sim::kNoProc;
                        d.sharers.reset();
+                       check_line(machine_->engine().checker(), line,
+                                  d.modified, d.sharers.count(),
+                                  d.owner != sim::kNoProc, false);
                      }
                    });
                  });

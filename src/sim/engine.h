@@ -9,6 +9,10 @@
 
 #include "sim/types.h"
 
+namespace cm::check {
+class Checker;
+}  // namespace cm::check
+
 namespace cm::sim {
 
 class Tracer;
@@ -56,6 +60,13 @@ class Engine {
   void set_tracer(Tracer* t) noexcept { tracer_ = t; }
   [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Invariant checking follows the same opt-in pattern as tracing: a
+  /// null-by-default pointer every instrumented layer reaches through the
+  /// engine, so checker-off runs pay one pointer test per site and stay
+  /// bit-identical to unchecked builds.
+  void set_checker(check::Checker* c) noexcept { checker_ = c; }
+  [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
+
  private:
   struct Event {
     Cycles t;
@@ -73,6 +84,7 @@ class Engine {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Tracer* tracer_ = nullptr;
+  check::Checker* checker_ = nullptr;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;

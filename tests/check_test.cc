@@ -1,0 +1,439 @@
+// Unit tests for check::Checker: vector-clock maintenance, phantom-access
+// classification, the lock graph, the move/forwarding/transport/reply
+// protocol invariants, and report determinism. Every test that provokes a
+// violation runs with abort_on_violation off so the report can be asserted;
+// the abort path itself is covered by death tests.
+#include "check/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/report.h"
+#include "sim/engine.h"
+
+namespace cm::check {
+namespace {
+
+CheckConfig no_abort() {
+  CheckConfig cfg;
+  cfg.abort_on_violation = false;
+  return cfg;
+}
+
+bool detail_contains(const ViolationRecord& r, const char* needle) {
+  return r.detail.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before
+// ---------------------------------------------------------------------------
+
+TEST(CheckClock, MessageDeliveryJoinsSenderClockIntoReceiver) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  const std::uint64_t t = ck.on_send(0, 1);
+  EXPECT_EQ(ck.clock(0)[0], 1u);  // send ticks the sender
+  EXPECT_EQ(ck.clock(1)[0], 0u);  // nothing learned yet
+  ck.on_deliver(1, t);
+  EXPECT_EQ(ck.clock(1)[1], 1u);  // delivery ticks the receiver...
+  EXPECT_EQ(ck.clock(1)[0], 1u);  // ...and joins the sender's snapshot
+  EXPECT_EQ(ck.stats().sends, 1u);
+  EXPECT_EQ(ck.stats().delivers, 1u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckClock, DroppedMessageOpensNoEdge) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  (void)ck.on_send(0, 1);  // never delivered: the receiver learns nothing
+  const std::uint64_t t2 = ck.on_send(2, 1);
+  ck.on_deliver(1, t2);
+  EXPECT_EQ(ck.clock(1)[0], 0u);
+  EXPECT_EQ(ck.clock(1)[2], 1u);
+}
+
+TEST(CheckClock, DuplicatedDeliveryJoinsOnlyOnce) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  const std::uint64_t t = ck.on_send(0, 1);
+  ck.on_deliver(1, t);
+  ck.on_deliver(1, t);  // duplicate copy: local tick, token already closed
+  EXPECT_EQ(ck.clock(1)[1], 2u);
+  EXPECT_EQ(ck.clock(1)[0], 1u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Phantom object accesses
+// ---------------------------------------------------------------------------
+
+TEST(CheckPhantom, LocalAccessIsClean) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_object_access(2, 7, 2, /*write=*/true);
+  ck.on_object_access(2, 7, 2, /*write=*/false);
+  EXPECT_EQ(ck.stats().accesses, 2u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckPhantom, RemoteAccessWithNoRelocationIsFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_object_access(1, 7, 0, /*write=*/true);
+  ASSERT_EQ(ck.count(Violation::kPhantomWrite), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "no relocation observed"));
+  ck.on_object_access(1, 7, 0, /*write=*/false);
+  EXPECT_EQ(ck.count(Violation::kPhantomRead), 1u);
+}
+
+TEST(CheckPhantom, StaleBindingClassifiedAgainstCommitClock) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  // Object 9 relocates to proc 2, and proc 0 HEARS about it (a message from
+  // 2 reaches 0 after the commit) — yet still accesses the old binding:
+  // causally after the relocation, i.e. a stale pointer kept live.
+  ck.on_move_begin(9, 2);
+  ck.on_move_commit(9, 0, 2);
+  ck.on_move_end(9);
+  const std::uint64_t t = ck.on_send(2, 0);
+  ck.on_deliver(0, t);
+  ck.on_object_access(0, 9, 2, /*write=*/false);
+  ASSERT_EQ(ck.count(Violation::kPhantomRead), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "causally after"));
+}
+
+TEST(CheckPhantom, ConcurrentRelocationClassifiedAsRace) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  // Proc 2's clock advances before the commit, and proc 0 never hears from
+  // it: the access is concurrent with the relocation — a genuine race.
+  (void)ck.on_send(2, 3);
+  ck.on_move_begin(9, 2);
+  ck.on_move_commit(9, 0, 2);
+  ck.on_move_end(9);
+  ck.on_object_access(0, 9, 2, /*write=*/true);
+  ASSERT_EQ(ck.count(Violation::kPhantomWrite), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "concurrent"));
+}
+
+TEST(CheckPhantom, HostDriftWithoutCommitIsOwnerDivergence) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_object_access(0, 5, 0, /*write=*/true);
+  // Ground truth now claims proc 1 without any on_move_commit in between.
+  ck.on_object_access(1, 5, 1, /*write=*/true);
+  EXPECT_EQ(ck.count(Violation::kOwnerDivergence), 1u);
+  EXPECT_EQ(ck.count(Violation::kPhantomWrite), 0u);  // proc == host both times
+}
+
+// ---------------------------------------------------------------------------
+// Lock graph
+// ---------------------------------------------------------------------------
+
+TEST(CheckLocks, ConsistentOrderIsClean) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  int a1 = 0, a2 = 0, m1 = 0, m2 = 0;
+  for (int* agent : {&a1, &a2}) {
+    ck.on_lock_attempt(agent, &m1, "m1");
+    ck.on_lock_acquired(agent, &m1, "m1");
+    ck.on_lock_attempt(agent, &m2, "m2");
+    ck.on_lock_acquired(agent, &m2, "m2");
+    ck.on_lock_released(agent, &m2);
+    ck.on_lock_released(agent, &m1);
+  }
+  EXPECT_EQ(ck.stats().lock_acquires, 4u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckLocks, InvertedOrderIsFlaggedOnceAndNamed) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  int a1 = 0, a2 = 0, m1 = 0, m2 = 0;
+  // Agent 1 establishes m1 -> m2.
+  ck.on_lock_attempt(&a1, &m1, "first");
+  ck.on_lock_acquired(&a1, &m1, "first");
+  ck.on_lock_attempt(&a1, &m2, "second");
+  ck.on_lock_acquired(&a1, &m2, "second");
+  ck.on_lock_released(&a1, &m2);
+  ck.on_lock_released(&a1, &m1);
+  // Agent 2 takes them the other way round — flagged at the attempt.
+  ck.on_lock_attempt(&a2, &m2, "second");
+  ck.on_lock_acquired(&a2, &m2, "second");
+  ck.on_lock_attempt(&a2, &m1, "first");
+  ASSERT_EQ(ck.count(Violation::kLockOrderInversion), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "'first'"));
+  EXPECT_TRUE(detail_contains(ck.records()[0], "'second'"));
+  ck.on_lock_acquired(&a2, &m1, "first");
+  ck.on_lock_released(&a2, &m1);
+  ck.on_lock_released(&a2, &m2);
+  // The same pair reported again would be noise: deduplicated.
+  ck.on_lock_attempt(&a2, &m2, "second");
+  ck.on_lock_acquired(&a2, &m2, "second");
+  ck.on_lock_attempt(&a2, &m1, "first");
+  EXPECT_EQ(ck.count(Violation::kLockOrderInversion), 1u);
+}
+
+TEST(CheckLocks, WaitForCycleIsDeadlock) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  int a1 = 0, a2 = 0, m1 = 0, m2 = 0;
+  ck.on_lock_attempt(&a1, &m1, "m1");
+  ck.on_lock_acquired(&a1, &m1, "m1");
+  ck.on_lock_attempt(&a2, &m2, "m2");
+  ck.on_lock_acquired(&a2, &m2, "m2");
+  ck.on_lock_attempt(&a1, &m2, "m2");  // a1 waits on a2: no cycle yet
+  EXPECT_EQ(ck.count(Violation::kDeadlock), 0u);
+  ck.on_lock_attempt(&a2, &m1, "m1");  // a2 waits on a1: cycle closes
+  EXPECT_EQ(ck.count(Violation::kDeadlock), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Move protocol
+// ---------------------------------------------------------------------------
+
+TEST(CheckMoves, SerialisedMovesAreClean) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_move_begin(3, 1);
+  ck.on_move_commit(3, 0, 1);
+  ck.on_move_end(3);
+  ck.on_move_begin(3, 2);
+  ck.on_move_commit(3, 1, 2);
+  ck.on_move_end(3);
+  EXPECT_EQ(ck.stats().moves, 2u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckMoves, OverlappingWindowsAreFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_move_begin(3, 1);
+  ck.on_move_begin(3, 2);  // second mover before the first window closed
+  EXPECT_EQ(ck.count(Violation::kMoveOverlap), 1u);
+}
+
+TEST(CheckMoves, CommitFromNonOwnerIsFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_move_commit(4, 0, 1);  // owner now 1
+  ck.on_move_commit(4, 0, 2);  // claims to move it from 0 again
+  EXPECT_EQ(ck.count(Violation::kMoveFromNonOwner), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding chains
+// ---------------------------------------------------------------------------
+
+TEST(CheckChase, CompressedChainIsClean) {
+  sim::Engine eng;
+  Checker ck(eng, 8, no_abort());
+  const std::uint64_t c = ck.on_chase_begin(8, 0);
+  ck.on_chase_hop(c, 0, 1);
+  ck.on_chase_hop(c, 1, 2);
+  ck.on_fwd_pointer(0, 8, 2);  // compression: every crossed hop points at 2
+  ck.on_fwd_pointer(1, 8, 2);
+  ck.on_chase_end(c, 2);
+  EXPECT_EQ(ck.stats().chases, 1u);
+  EXPECT_EQ(ck.stats().chase_hops, 2u);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckChase, RevisitingAProcessorIsLegitimate) {
+  sim::Engine eng;
+  Checker ck(eng, 8, no_abort());
+  // The object moved back to 0 mid-chase and 1's pointer was freshened:
+  // the chase crosses 0 twice but never follows the same pointer twice.
+  const std::uint64_t c = ck.on_chase_begin(8, 0);
+  ck.on_chase_hop(c, 0, 1);
+  ck.on_chase_hop(c, 1, 0);
+  ck.on_fwd_pointer(1, 8, 0);
+  ck.on_chase_end(c, 0);
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckChase, FollowingTheSamePointerTwiceIsACycle) {
+  sim::Engine eng;
+  Checker ck(eng, 8, no_abort());
+  const std::uint64_t c = ck.on_chase_begin(8, 0);
+  ck.on_chase_hop(c, 0, 1);
+  ck.on_chase_hop(c, 1, 0);
+  ck.on_chase_hop(c, 0, 1);  // same edge again: this chase never terminates
+  EXPECT_EQ(ck.count(Violation::kForwardCycle), 1u);
+}
+
+TEST(CheckChase, UncompressedHopIsFlaggedOnArrival) {
+  sim::Engine eng;
+  Checker ck(eng, 8, no_abort());
+  const std::uint64_t c = ck.on_chase_begin(8, 0);
+  ck.on_chase_hop(c, 0, 1);
+  ck.on_chase_hop(c, 1, 2);
+  ck.on_fwd_pointer(0, 8, 1);  // still points one hop behind
+  ck.on_fwd_pointer(1, 8, 2);
+  ck.on_chase_end(c, 2);
+  ASSERT_EQ(ck.count(Violation::kChainNotCompressed), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "still points at 1"));
+}
+
+// ---------------------------------------------------------------------------
+// Reliable-transport sequence numbers
+// ---------------------------------------------------------------------------
+
+TEST(CheckSeq, ExactlyOnceDeliveryIsClean) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_seq_sent(0, 1, 0);
+  ck.on_seq_delivered(0, 1, 0, /*fresh=*/true);
+  ck.on_seq_sent(0, 1, 1);
+  ck.on_seq_delivered(0, 1, 1, /*fresh=*/true);
+  // A retransmitted copy correctly deduped by the transport is fine too.
+  ck.on_seq_delivered(0, 1, 1, /*fresh=*/false);
+  ck.finalize();
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckSeq, DedupVerdictDisagreementIsFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_seq_sent(0, 1, 5);
+  ck.on_seq_delivered(0, 1, 5, /*fresh=*/true);
+  ck.on_seq_delivered(0, 1, 5, /*fresh=*/true);  // duplicate surfaced as fresh
+  EXPECT_EQ(ck.count(Violation::kSeqDuplicate), 1u);
+}
+
+TEST(CheckSeq, DeliveryOfUnsentSeqIsFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_seq_delivered(0, 1, 7, /*fresh=*/true);
+  ASSERT_EQ(ck.count(Violation::kSeqDuplicate), 1u);
+  EXPECT_TRUE(detail_contains(ck.records()[0], "never sent"));
+}
+
+TEST(CheckSeq, UndeliveredSeqIsAGapUnlessAbandoned) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_seq_sent(0, 1, 0);
+  ck.on_seq_sent(0, 1, 1);
+  ck.on_seq_delivered(0, 1, 0, /*fresh=*/true);
+  ck.finalize();
+  EXPECT_EQ(ck.count(Violation::kSeqGap), 1u);
+
+  sim::Engine eng2;
+  Checker ck2(eng2, 4, no_abort());
+  ck2.on_seq_sent(0, 1, 0);
+  ck2.on_seq_abandoned(0, 1, 0);  // bounded budget exhausted: excused
+  ck2.finalize();
+  EXPECT_EQ(ck2.violations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+TEST(CheckReply, ExactlyOnceIsClean) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  const std::uint64_t call = ck.on_call_begin(0, 42);
+  ck.on_reply(call, 0);
+  ck.finalize();
+  EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST(CheckReply, SecondReplyIsFlagged) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  const std::uint64_t call = ck.on_call_begin(0, 42);
+  ck.on_reply(call, 0);
+  ck.on_reply(call, 0);
+  EXPECT_EQ(ck.count(Violation::kDuplicateReply), 1u);
+}
+
+TEST(CheckReply, MissingReplyIsFlaggedAtFinalize) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  (void)ck.on_call_begin(3, 42);
+  ck.finalize();
+  EXPECT_EQ(ck.count(Violation::kLostReply), 1u);
+  EXPECT_EQ(ck.records()[0].proc, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence directory
+// ---------------------------------------------------------------------------
+
+TEST(CheckCoherence, DirectoryInvariants) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_line_state(1, /*modified=*/true, 1, true, true);    // sole owner: ok
+  ck.on_line_state(2, /*modified=*/false, 3, false, false); // shared clean: ok
+  EXPECT_EQ(ck.violations(), 0u);
+  ck.on_line_state(3, /*modified=*/true, 2, true, true);    // 2 sharers
+  EXPECT_EQ(ck.count(Violation::kCoherenceConflict), 1u);
+  ck.on_line_state(4, /*modified=*/false, 1, true, true);   // clean + owner
+  EXPECT_EQ(ck.count(Violation::kCoherenceConflict), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle, report, abort
+// ---------------------------------------------------------------------------
+
+TEST(CheckReport, FinalizeIsIdempotent) {
+  sim::Engine eng;
+  Checker ck(eng, 4, no_abort());
+  ck.on_seq_sent(0, 1, 0);
+  ck.finalize();
+  ck.finalize();
+  EXPECT_EQ(ck.count(Violation::kSeqGap), 1u);
+}
+
+TEST(CheckReport, RecordListIsBounded) {
+  sim::Engine eng;
+  CheckConfig cfg = no_abort();
+  cfg.max_records = 2;
+  Checker ck(eng, 4, cfg);
+  for (std::uint64_t obj = 0; obj < 5; ++obj) {
+    ck.on_object_access(1, obj, 0, /*write=*/true);
+  }
+  EXPECT_EQ(ck.records().size(), 2u);           // records are bounded...
+  EXPECT_EQ(ck.count(Violation::kPhantomWrite), 5u);  // ...counting is exact
+}
+
+TEST(CheckReport, IdenticalHistoriesProduceByteIdenticalReports) {
+  auto run = [] {
+    sim::Engine eng;
+    Checker ck(eng, 4, no_abort());
+    const std::uint64_t t = ck.on_send(0, 1);
+    ck.on_deliver(1, t);
+    ck.on_object_access(1, 7, 0, /*write=*/true);
+    const std::uint64_t call = ck.on_call_begin(0, 7);
+    ck.on_reply(call, 0);
+    ck.finalize();
+    return check_report_json(ck);
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_NE(a.find("\"kind\": \"phantom_write\""), std::string::npos);
+  EXPECT_NE(a.find("\"check.violations\": 1"), std::string::npos);
+}
+
+TEST(CheckAbortDeath, ExplicitAbortConfigAbortsOnViolation) {
+  sim::Engine eng;
+  CheckConfig cfg;
+  cfg.abort_on_violation = true;
+  Checker ck(eng, 4, cfg);
+  EXPECT_DEATH_IF_SUPPORTED(ck.on_object_access(1, 7, 0, /*write=*/true),
+                            "VIOLATION phantom_write");
+}
+
+#ifndef NDEBUG
+TEST(CheckAbortDeath, DebugBuildsAbortByDefault) {
+  sim::Engine eng;
+  Checker ck(eng, 4);  // default config: abort_on_violation on in Debug
+  EXPECT_DEATH_IF_SUPPORTED(ck.on_object_access(1, 7, 0, /*write=*/true),
+                            "VIOLATION phantom_write");
+}
+#endif
+
+}  // namespace
+}  // namespace cm::check

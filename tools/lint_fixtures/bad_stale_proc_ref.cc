@@ -1,0 +1,33 @@
+// coro_lint fixture: a reference to processor-local state held across a
+// migration. NOT compiled — pattern food for tools/coro_lint --self-test.
+#include <cstdint>
+
+namespace fixture {
+
+struct Slot {
+  std::uint64_t count = 0;
+};
+
+struct Ctx {
+  unsigned proc;
+};
+
+struct Rt {
+  Slot procs_[64];
+  void* migrate(Ctx&, int, unsigned);
+};
+
+void bad_ref_across_migrate(Rt* rt, Ctx& ctx) {
+  auto& slot = rt->procs_[ctx.proc];
+  slot.count++;  // fine: still on the declaring processor
+  co_await rt->migrate(ctx, 7, 16);
+  slot.count++;  // EXPECT-LINT: CL002
+}
+
+void bad_ptr_across_migrate_group(Rt* rt, Ctx& ctx) {
+  Slot* here = &rt->procs_[ctx.proc];
+  co_await rt->migrate_group(ctx, 7, 16);
+  here->count++;  // EXPECT-LINT: CL002
+}
+
+}  // namespace fixture
