@@ -46,17 +46,24 @@ struct Row {
 };
 
 apps::RunStats counting_at(Mechanism mech, double rate,
-                           std::string trace_path = {}) {
+                           std::string trace_path = {}, bool crash = false) {
   apps::CountingConfig cfg;
   cfg.scheme = Scheme{mech, false, false};
   cfg.requesters = 16;
   cfg.ops_per_requester = 50;
   cfg.faults = loss_plan(rate);
+  if (crash) {
+    // Fail-stop scenario: a balancer processor dies mid-run on top of the
+    // message loss; the ft layer detects and re-homes (see
+    // ablation_failstop for the full crash-count sweep).
+    cfg.faults.nic_fail_at[2] = 10'000;
+    cfg.ft.enabled = true;
+  }
   cfg.trace_path = std::move(trace_path);
   return run_counting(cfg);
 }
 
-apps::RunStats btree_at(Mechanism mech, double rate) {
+apps::RunStats btree_at(Mechanism mech, double rate, bool crash = false) {
   apps::BTreeConfig cfg;
   cfg.scheme = Scheme{mech, false, false};
   cfg.requesters = 8;
@@ -64,6 +71,10 @@ apps::RunStats btree_at(Mechanism mech, double rate) {
   cfg.max_entries = 20;
   cfg.ops_per_requester = 50;
   cfg.faults = loss_plan(rate);
+  if (crash) {
+    cfg.faults.nic_fail_at[18] = 15'000;  // hosts several nodes under seed 1
+    cfg.ft.enabled = true;
+  }
   return run_btree(cfg);
 }
 
@@ -134,13 +145,24 @@ int main(int argc, char** argv) {
                                                   rate)});
     rows.push_back({"btree", "RPC", rate, btree_at(Mechanism::kRpc, rate)});
   }
+  // Fail-stop scenario: the highest loss rate plus a mid-run processor
+  // crash, with the ft layer recovering the dead processor's objects. The
+  // result column must still match the pair's loss-only rows ("CP+crash"
+  // rows; full crash-count sweep in ablation_failstop).
+  rows.push_back({"counting", "CP+crash", max_rate,
+                  counting_at(Mechanism::kMigration, max_rate, "",
+                              /*crash=*/true)});
+  rows.push_back({"btree", "CP+crash", max_rate,
+                  btree_at(Mechanism::kMigration, max_rate, /*crash=*/true)});
   print_table(rows);
 
   std::printf(
       "\nShape: every row of a workload/mechanism pair reports the same\n"
       "result column regardless of loss rate — faults cost retransmissions\n"
       "and time, never correctness. At rate 0 the reliable layer is not\n"
-      "installed at all (no acks, no retransmit state).\n");
+      "installed at all (no acks, no retransmit state). The CP+crash rows\n"
+      "add a fail-stopped processor on top of the loss: detection plus\n"
+      "object re-home preserve the result there too.\n");
 
   write_json(argc > 1 ? argv[1] : "ablation_faults.json", rows);
   return 0;

@@ -36,7 +36,17 @@ unsigned DistributedBTree::replica_words() const {
 }
 
 std::uint32_t DistributedBTree::alloc_node(bool leaf, unsigned level) {
-  const ProcId home = static_cast<ProcId>(rng_.below(p_.node_procs));
+  ProcId home = static_cast<ProcId>(rng_.below(p_.node_procs));
+  // Under fail-stop tolerance a split mid-run must not place the new node
+  // on a processor already known dead (recovery only covers objects that
+  // existed at suspicion time). Skip to the next live node processor in
+  // ring order — a single rng draw either way, so the draw sequence (and
+  // every ft-off run) is unchanged.
+  if (const core::FaultTolerance* ft = rt_->fault_tolerance()) {
+    for (ProcId off = 0; off < p_.node_procs && ft->suspected(home); ++off) {
+      home = static_cast<ProcId>((home + 1) % p_.node_procs);
+    }
+  }
   Node n;
   n.leaf = leaf;
   n.level = level;

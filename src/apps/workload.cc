@@ -46,7 +46,19 @@ struct RunCtl {
   std::uint64_t msgs_at_warm = 0;
   std::uint64_t words_at_end = 0;
   std::uint64_t msgs_at_end = 0;
+  // Fail-stop bookkeeping: operations abandoned with a typed core::FtError,
+  // and the detector to shut down when the last requester exits (its
+  // periodic sweep would otherwise keep the event queue alive forever).
+  long lost_ops = 0;
+  unsigned live = 0;
+  ft::FtLayer* ftl = nullptr;
 };
+
+/// A requester finished: the last one out stops the failure detector so the
+/// engine can drain.
+void requester_exit(RunCtl& ctl) {
+  if (ctl.live > 0 && --ctl.live == 0 && ctl.ftl != nullptr) ctl.ftl->stop();
+}
 
 void count_op(RunCtl& ctl, Cycles now) {
   if (now >= ctl.warm_at && now < ctl.end_at) ++ctl.ops;
@@ -62,12 +74,21 @@ Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
     // Each request enters on a (deterministically) random wire, as counting
     // network clients do in practice.
     const auto wire = static_cast<unsigned>(rng.below(cn->width()));
-    (void)co_await cn->get_next(ctx, mech, wire);
-    // Bring the value (and, under migration, the activation) back home.
-    co_await rt->return_home(ctx, home, 2);
-    count_op(*ctl, rt->machine().engine().now());
+    try {
+      (void)co_await cn->get_next(ctx, mech, wire);
+      // Bring the value (and, under migration, the activation) back home.
+      co_await rt->return_home(ctx, home, 2);
+      count_op(*ctl, rt->machine().engine().now());
+    } catch (const core::FtError&) {
+      // Only thrown with fault tolerance installed: the operation touched a
+      // lost object or exhausted its retry budget. Abandon it gracefully
+      // and carry on from home.
+      ++ctl->lost_ops;
+      ctx.proc = home;
+    }
     if (think > 0) co_await rt->machine().sleep(think);
   }
+  requester_exit(*ctl);
 }
 
 Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
@@ -79,14 +100,24 @@ Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
   for (long done = 0; !ctl->stop; ++done) {
     if (fixed_ops > 0 && done >= fixed_ops) break;
     const std::uint64_t key = rng.below(key_space);
-    if (rng.uniform() < insert_ratio) {
-      (void)co_await bt->insert(ctx, mech, key, key);
-    } else {
-      (void)co_await bt->lookup(ctx, mech, key);
+    try {
+      if (rng.uniform() < insert_ratio) {
+        (void)co_await bt->insert(ctx, mech, key, key);
+      } else {
+        (void)co_await bt->lookup(ctx, mech, key);
+      }
+      count_op(*ctl, rt->machine().engine().now());
+    } catch (const core::FtError&) {
+      // See counting_requester. B-tree crash scenarios re-home node state
+      // (never condemn it — an ObjectLostError unwinding past a held node
+      // lock would strand its waiters), so this catch only fires on
+      // retry-budget exhaustion.
+      ++ctl->lost_ops;
+      ctx.proc = home;
     }
-    count_op(*ctl, rt->machine().engine().now());
     if (think > 0) co_await rt->machine().sleep(think);
   }
+  requester_exit(*ctl);
 }
 
 }  // namespace
@@ -142,10 +173,21 @@ RunStats run_counting(const CountingConfig& cfg) {
   }
   CountingNetwork cn(rt, mem.get(), np);
 
+  // Fail-stop tolerance: constructed after the application so the balancer
+  // objects exist when a suspicion scans for a dead processor's population.
+  std::unique_ptr<ft::FtLayer> ftl;
+  if (cfg.ft.enabled) {
+    ftl = std::make_unique<ft::FtLayer>(rt, cfg.ft, locator.get());
+    ftl->note_plan(cfg.faults);
+    ftl->start();
+  }
+
   const bool fixed = cfg.ops_per_requester > 0;
   RunCtl ctl;
   ctl.warm_at = fixed ? 0 : cfg.window.warmup;
   ctl.end_at = fixed ? ~Cycles{0} : cfg.window.warmup + cfg.window.measure;
+  ctl.live = cfg.requesters;
+  ctl.ftl = ftl.get();
 
   for (unsigned i = 0; i < cfg.requesters; ++i) {
     const ProcId home = static_cast<ProcId>(balancers + i);
@@ -181,6 +223,11 @@ RunStats run_counting(const CountingConfig& cfg) {
   out.completed_at = eng.now();
   out.total_exited = cn.total_exited();
   out.step_property = cn.has_step_property();
+  if (ftl != nullptr) {
+    out.ft_enabled = true;
+    out.ft = ftl->stats();
+    out.ft_lost_ops = ctl.lost_ops;
+  }
   if (locator != nullptr) {
     out.locator_enabled = true;
     out.loc = locator->stats();
@@ -250,10 +297,21 @@ RunStats run_btree(const BTreeConfig& cfg) {
   for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i;
   bt.bulk_load(keys);
 
+  // Fail-stop tolerance: after bulk_load so every node object (and the
+  // replicated root, if any) exists before a crash can be suspected.
+  std::unique_ptr<ft::FtLayer> ftl;
+  if (cfg.ft.enabled) {
+    ftl = std::make_unique<ft::FtLayer>(rt, cfg.ft, locator.get());
+    ftl->note_plan(cfg.faults);
+    ftl->start();
+  }
+
   const bool fixed = cfg.ops_per_requester > 0;
   RunCtl ctl;
   ctl.warm_at = fixed ? 0 : cfg.window.warmup;
   ctl.end_at = fixed ? ~Cycles{0} : cfg.window.warmup + cfg.window.measure;
+  ctl.live = cfg.requesters;
+  ctl.ftl = ftl.get();
 
   for (unsigned i = 0; i < cfg.requesters; ++i) {
     const ProcId home = static_cast<ProcId>(cfg.node_procs + i);
@@ -292,6 +350,11 @@ RunStats run_btree(const BTreeConfig& cfg) {
   out.btree_keys = bt.num_keys();
   out.btree_digest = bt.digest_host();
   out.invariants_ok = bt.check_invariants();
+  if (ftl != nullptr) {
+    out.ft_enabled = true;
+    out.ft = ftl->stats();
+    out.ft_lost_ops = ctl.lost_ops;
+  }
   if (locator != nullptr) {
     out.locator_enabled = true;
     out.loc = locator->stats();
@@ -325,6 +388,10 @@ void put_run_stats(core::Metrics& m, const RunStats& s) {
   m.put("btree_digest", digest);
   m.put("invariants_ok", s.invariants_ok);
   if (!s.trace_path.empty()) m.put("trace", s.trace_path);
+  if (s.ft_enabled) {
+    ft::put_ft_stats(m, s.ft);
+    m.put("ft.lost_ops", s.ft_lost_ops);
+  }
   if (s.locator_enabled) loc::put_loc_stats(m, s.loc);
   if (s.checker_enabled) check::put_check_stats(m, s.check);
   core::put_rt_stats(m, s.runtime);

@@ -21,6 +21,7 @@
 #include "core/metrics.h"
 #include "core/reliable.h"
 #include "core/stats.h"
+#include "ft/ft.h"
 #include "loc/locator.h"
 #include "net/faulty_net.h"
 #include "sim/types.h"
@@ -63,6 +64,13 @@ struct RunStats {
   bool checker_enabled = false;
   check::CheckStats check;
   std::vector<check::ViolationRecord> check_violations;
+
+  // Fail-stop crash tolerance (only meaningful when a run enables the
+  // ft layer; `ft_enabled` gates the "ft.*" metrics export). `ft_lost_ops`
+  // counts operations requesters abandoned with a typed core::FtError.
+  bool ft_enabled = false;
+  ft::FtStats ft;
+  long ft_lost_ops = 0;
 
   std::string trace_path;  // Chrome trace written for this run ("" = none)
 
@@ -118,6 +126,12 @@ struct CountingConfig {
   // with it on or off.
   bool check = false;
   check::CheckConfig check_cfg;
+  // Fail-stop crash tolerance: with `ft.enabled` an ft::FtLayer (failure
+  // detector + recovery) is installed and primed with the fault plan's
+  // planned NIC deaths. Disabled (default) keeps the run bit-identical to a
+  // build without the layer. Pair with `faults.nic_fail_at` and fixed-work
+  // mode so the run drains deterministically.
+  ft::FtConfig ft;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -143,6 +157,7 @@ struct BTreeConfig {
   loc::LocatorConfig locator;  // see CountingConfig
   bool check = false;          // see CountingConfig
   check::CheckConfig check_cfg;
+  ft::FtConfig ft;  // see CountingConfig
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

@@ -69,7 +69,7 @@ std::uint64_t Checker::on_send(ProcId src, ProcId dst) {
   ++stats_.sends;
   tick(src);
   const std::uint64_t token = next_token_++;
-  in_flight_.emplace(token, clocks_[src]);
+  in_flight_.emplace(token, Edge{clocks_[src], src, engine_->now()});
   return token;
 }
 
@@ -78,7 +78,19 @@ void Checker::on_deliver(ProcId dst, std::uint64_t token) {
   tick(dst);
   auto it = in_flight_.find(token);
   if (it == in_flight_.end()) return;  // duplicate closed its edge already
-  join(dst, it->second);
+  const Edge& edge = it->second;
+  auto fe = fail_epochs_.find(edge.src);
+  if (fe != fail_epochs_.end() && edge.sent_at >= fe->second) {
+    // The faulty-network wrapper must eat everything a dead NIC emits; a
+    // delivery here means some path bypassed it (by construction this can
+    // only be a layering regression, never a lossy run's bad luck).
+    violate(Violation::kPostFailureDelivery, dst,
+            "message sent by proc " + proc_str(edge.src) + " at cycle " +
+                std::to_string(edge.sent_at) +
+                " delivered despite its fail-stop epoch " +
+                std::to_string(fe->second));
+  }
+  join(dst, edge.clock);
   in_flight_.erase(it);
 }
 
@@ -349,6 +361,59 @@ void Checker::on_reply(std::uint64_t call, ProcId at) {
   }
 }
 
+void Checker::on_call_abandoned(std::uint64_t call) {
+  ++stats_.calls_abandoned;
+  if (call >= calls_.size()) return;
+  calls_[call].abandoned = true;
+}
+
+// ---- fail-stop crashes ------------------------------------------------------
+
+void Checker::on_fail_stop(ProcId p, Cycles at) {
+  ++stats_.fail_stops;
+  auto [it, fresh] = fail_epochs_.emplace(p, at);
+  if (!fresh && at < it->second) it->second = at;  // earliest death wins
+}
+
+void Checker::on_lease(ProcId p, Cycles expiry) {
+  ++stats_.leases;
+  auto [it, fresh] = lease_expiry_.emplace(p, expiry);
+  if (fresh) return;
+  if (expiry < it->second) {
+    violate(Violation::kLeaseRegression, p,
+            "proc " + proc_str(p) + " lease renewed to cycle " +
+                std::to_string(expiry) + " after a later expiry " +
+                std::to_string(it->second));
+    return;
+  }
+  it->second = expiry;
+}
+
+void Checker::on_suspect(ProcId p) {
+  (void)p;
+  ++stats_.suspicions;
+}
+
+void Checker::on_rehome(std::uint64_t obj, ProcId from, ProcId to) {
+  ++stats_.rehomes;
+  if (!rehomed_.insert({obj, from}).second) {
+    violate(Violation::kDuplicateRehome, to,
+            "obj " + std::to_string(obj) + " recovered from failed proc " +
+                proc_str(from) + " more than once");
+  }
+  auto it = owner_mirror_.find(obj);
+  if (it != owner_mirror_.end() && it->second != from) {
+    violate(Violation::kDuplicateRehome, to,
+            "obj " + std::to_string(obj) + " re-homed " + proc_str(from) +
+                " -> " + proc_str(to) + " but committed owner was " +
+                proc_str(it->second));
+  }
+  // A recovery commit is a relocation commit: keep the owner mirror and the
+  // causal classification of later accesses coherent with it.
+  owner_mirror_[obj] = to;
+  last_commit_[obj] = Commit{to, clocks_[to]};
+}
+
 // ---- coherence directory ----------------------------------------------------
 
 void Checker::on_line_state(std::uint64_t line, bool modified,
@@ -387,7 +452,7 @@ void Checker::finalize() {
     }
   }
   for (std::size_t i = 0; i < calls_.size(); ++i) {
-    if (calls_[i].replies == 0) {
+    if (calls_[i].replies == 0 && !calls_[i].abandoned) {
       violate(Violation::kLostReply, calls_[i].caller,
               "call #" + std::to_string(i) + " on obj " +
                   std::to_string(calls_[i].obj) + " never saw its reply");

@@ -68,6 +68,11 @@ enum class Violation : unsigned {
   kDuplicateReply,        // one call's reply delivered more than once
   kLostReply,             // finalize: a call never saw its reply
   kCoherenceConflict,     // Modified line without exactly one owning sharer
+  kPostFailureDelivery,   // a message sent at/after its source's fail-stop
+                          // epoch was delivered (dead NICs must stay dead)
+  kDuplicateRehome,       // one crash recovered the same object twice, or a
+                          // re-home committed away from a non-owner
+  kLeaseRegression,       // a processor's lease expiry moved backwards
   kCount,
 };
 
@@ -87,6 +92,9 @@ enum class Violation : unsigned {
     case Violation::kDuplicateReply: return "duplicate_reply";
     case Violation::kLostReply: return "lost_reply";
     case Violation::kCoherenceConflict: return "coherence_conflict";
+    case Violation::kPostFailureDelivery: return "post_failure_delivery";
+    case Violation::kDuplicateRehome: return "duplicate_rehome";
+    case Violation::kLeaseRegression: return "lease_regression";
     case Violation::kCount: break;
   }
   return "?";
@@ -131,7 +139,12 @@ struct CheckStats {
   std::uint64_t seqs_abandoned = 0;  // budget-exhausted (excused) sends
   std::uint64_t calls = 0;           // replied-exactly-once windows opened
   std::uint64_t replies = 0;
+  std::uint64_t calls_abandoned = 0; // windows excused by a typed ft failure
   std::uint64_t line_checks = 0;     // coherence directory-state checks
+  std::uint64_t fail_stops = 0;      // planned NIC deaths registered
+  std::uint64_t leases = 0;          // lease renewals observed
+  std::uint64_t suspicions = 0;      // failure-detector verdicts
+  std::uint64_t rehomes = 0;         // object recovery commits
   bool finalized = false;
   std::uint64_t total_violations = 0;
   std::uint64_t by_kind[static_cast<unsigned>(Violation::kCount)] = {};
@@ -210,6 +223,24 @@ class Checker {
   /// Open a replied-exactly-once window for a remote call; returns its id.
   std::uint64_t on_call_begin(ProcId caller, std::uint64_t obj);
   void on_reply(std::uint64_t call, ProcId at);
+  /// The call unwound with a typed fault-tolerance failure instead of a
+  /// reply (e.g. its object was lost): excuse the window from the
+  /// lost-reply check — the application-level handler owns it now.
+  void on_call_abandoned(std::uint64_t call);
+
+  // ---- fail-stop crashes ---------------------------------------------------
+  /// Ground truth: `p`'s NIC fail-stops at cycle `at` (from the FaultPlan).
+  /// From that cycle on, no message sent by `p` may ever be delivered.
+  void on_fail_stop(ProcId p, Cycles at);
+  /// The failure detector renewed `p`'s lease until `expiry`; leases must
+  /// only ever move forward.
+  void on_lease(ProcId p, Cycles expiry);
+  /// The failure detector suspected `p` at the current cycle.
+  void on_suspect(ProcId p);
+  /// Object recovery committed: `obj` re-homed `from` -> `to`. Each (obj,
+  /// failed home) pair may commit at most once, and `from` must be the
+  /// object's committed owner.
+  void on_rehome(std::uint64_t obj, ProcId from, ProcId to);
 
   // ---- coherence directory ------------------------------------------------
   /// Directory-state facts after a transition commits. Invariant: modified
@@ -251,6 +282,14 @@ class Checker {
     ProcId caller;
     std::uint64_t obj;
     unsigned replies = 0;
+    bool abandoned = false;
+  };
+  /// One happens-before edge in flight: the sender's clock, plus who sent
+  /// it and when (so delivery can be tested against fail-stop epochs).
+  struct Edge {
+    std::vector<std::uint64_t> clock;
+    ProcId src;
+    Cycles sent_at;
   };
 
   void violate(Violation v, ProcId proc, std::string detail);
@@ -275,8 +314,13 @@ class Checker {
 
   // happens-before
   std::vector<std::vector<std::uint64_t>> clocks_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> in_flight_;
+  std::unordered_map<std::uint64_t, Edge> in_flight_;
   std::uint64_t next_token_ = 0;
+
+  // fail-stop
+  std::map<ProcId, Cycles> fail_epochs_;   // ground-truth NIC death cycles
+  std::map<ProcId, Cycles> lease_expiry_;  // latest renewal per processor
+  std::set<std::pair<std::uint64_t, ProcId>> rehomed_;  // (obj, failed home)
 
   // object history
   std::unordered_map<std::uint64_t, ProcId> owner_mirror_;

@@ -28,7 +28,12 @@ inline void put_check_stats(core::Metrics& m, const CheckStats& s) {
   m.put("check.seqs_abandoned", s.seqs_abandoned);
   m.put("check.calls", s.calls);
   m.put("check.replies", s.replies);
+  m.put("check.calls_abandoned", s.calls_abandoned);
   m.put("check.line_checks", s.line_checks);
+  m.put("check.fail_stops", s.fail_stops);
+  m.put("check.leases", s.leases);
+  m.put("check.suspicions", s.suspicions);
+  m.put("check.rehomes", s.rehomes);
   m.put("check.finalized", s.finalized);
   m.put("check.violations", s.total_violations);
   for (unsigned k = 0; k < static_cast<unsigned>(Violation::kCount); ++k) {

@@ -142,6 +142,11 @@ void put_rt_stats(Metrics& m, const RtStats& s) {
   m.put("rt.stale_deliveries", s.stale_deliveries);
   m.put("rt.delivery_failures", s.delivery_failures);
   m.put("rt.migration_fallbacks", s.migration_fallbacks);
+  m.put("rt.ft_suspect_aborts", s.ft_suspect_aborts);
+  m.put("rt.ft_deadline_aborts", s.ft_deadline_aborts);
+  m.put("rt.ft_call_retries", s.ft_call_retries);
+  m.put("rt.ft_recovered_replies", s.ft_recovered_replies);
+  m.put("rt.ft_evacuations", s.ft_evacuations);
   put_breakdown(m, s.breakdown);
 }
 

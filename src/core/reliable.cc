@@ -18,6 +18,7 @@ struct ReliableTransport::SendState {
   std::uint64_t seq = 0;
   unsigned attempts = 0;
   sim::Cycles timeout = 0;
+  sim::Cycles deadline = 0;  // absolute give-up cycle; 0 = none
   bool acked = false;
   bool done = false;       // the awaiter has been resumed...
   bool delivered = false;  // ...because a copy arrived (vs. giving up)
@@ -28,12 +29,25 @@ struct ReliableTransport::SendState {
 };
 
 sim::Task<bool> ReliableTransport::send(sim::ProcId src, sim::ProcId dst,
-                                        unsigned words, unsigned budget) {
+                                        unsigned words, unsigned budget,
+                                        sim::Cycles deadline) {
+  if (ft_ != nullptr && (ft_->suspected(dst) || ft_->suspected(src))) {
+    // The peer (or our own NIC) is already known dead: fail fast instead of
+    // burning a full timeout ladder on a message that can never be acked.
+    ++stats_->ft_suspect_aborts;
+    ++stats_->delivery_failures;
+    if (sim::Tracer* tr = engine_->tracer()) {
+      tr->record(sim::TraceEvent::kFtAbort, src,
+                 {{"dst", dst}, {"why", 0}});
+    }
+    co_return false;
+  }
   auto st = std::make_shared<SendState>(*engine_);
   st->src = src;
   st->dst = dst;
   st->words = words;
   st->budget = budget;
+  st->deadline = deadline;
   st->seq = channel(src, dst).next_seq++;
   st->timeout = cfg_.base_timeout;
   ++stats_->reliable_sends;
@@ -110,6 +124,40 @@ void ReliableTransport::on_timeout(const std::shared_ptr<SendState>& st) {
   if (sim::Tracer* tr = engine_->tracer()) {
     tr->record(sim::TraceEvent::kTimeout, st->src,
                {{"dst", st->dst}, {"seq", st->seq}});
+  }
+  if (ft_ != nullptr) {
+    // Fail-stop cancellation: stop retrying once the peer is suspected or
+    // the send's deadline has passed. If a copy already arrived (delivered
+    // but the ack died with the receiver's NIC), the send has succeeded —
+    // just stop retransmitting silently; resuming or failing it now would
+    // double-settle the awaiter.
+    const bool suspect = ft_->suspected(st->dst) || ft_->suspected(st->src);
+    const bool expired =
+        st->deadline != 0 && engine_->now() >= st->deadline;
+    if (suspect || expired) {
+      if (suspect) {
+        ++stats_->ft_suspect_aborts;
+      } else {
+        ++stats_->ft_deadline_aborts;
+      }
+      if (sim::Tracer* tr = engine_->tracer()) {
+        tr->record(sim::TraceEvent::kFtAbort, st->src,
+                   {{"dst", st->dst},
+                    {"seq", st->seq},
+                    {"why", suspect ? 0u : 1u}});
+      }
+      if (!st->done) {
+        ++stats_->delivery_failures;
+        if (check::Checker* ck = engine_->checker()) {
+          // Excuse the seq from the end-of-run gapless check, exactly like
+          // a bounded-budget give-up: recovery owns correctness from here.
+          ck->on_seq_abandoned(st->src, st->dst, st->seq);
+        }
+        st->done = true;
+        st->waiter.resume();
+      }
+      return;
+    }
   }
   if (st->budget != 0 && st->attempts >= st->budget) {
     ++stats_->delivery_failures;

@@ -15,6 +15,17 @@
 // The runtime only installs this layer for fault-injection runs; the raw
 // transfer path is untouched otherwise, so fault-free experiments remain
 // bit-identical to the unreliable-era system.
+//
+// Interaction with fail-stop crashes (FaultPlan::nic_fail_at): a dead NIC
+// never delivers and never acks, so an unbounded send (`budget = 0`) to it
+// would retransmit forever — the sender's coroutine hangs and the event
+// queue never drains. With a FaultTolerance service installed
+// (set_fault_tolerance), such a send instead resolves as a
+// `delivery_failures` outcome the moment the peer is suspected (or its
+// send_deadline expires, whichever is first): the timer path stops
+// retransmitting, excuses the seq with the checker, and wakes the sender
+// with false. Without the service the pre-crash behaviour — including the
+// hang — is bit-identical, which is exactly the no-overhead guarantee.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/ft.h"
 #include "core/stats.h"
 #include "net/network.h"
 #include "sim/engine.h"
@@ -54,9 +66,15 @@ class ReliableTransport {
   /// until the message is acked. `budget` caps total send attempts
   /// (0 = retry forever); returns false only when the budget was exhausted
   /// before any copy arrived, in which case a late copy is discarded at the
-  /// receiver rather than resuming anything.
+  /// receiver rather than resuming anything. `deadline` (absolute cycle,
+  /// 0 = none) bounds how long an unacked send may keep retrying when a
+  /// FaultTolerance service is installed; it is ignored otherwise.
   [[nodiscard]] sim::Task<bool> send(sim::ProcId src, sim::ProcId dst,
-                                     unsigned words, unsigned budget = 0);
+                                     unsigned words, unsigned budget = 0,
+                                     sim::Cycles deadline = 0);
+
+  /// Install the fail-stop suspicion source (null = crash-free behaviour).
+  void set_fault_tolerance(const FaultTolerance* ft) noexcept { ft_ = ft; }
 
   [[nodiscard]] const ReliableConfig& config() const noexcept { return cfg_; }
 
@@ -83,6 +101,7 @@ class ReliableTransport {
   net::Network* network_;
   RtStats* stats_;
   ReliableConfig cfg_;
+  const FaultTolerance* ft_ = nullptr;  // null = never suspect anyone
   std::map<std::pair<sim::ProcId, sim::ProcId>, Channel> channels_;
 };
 

@@ -11,7 +11,10 @@ Replicated::Replicated(Runtime& rt, ObjectId primary, unsigned object_words)
       object_words_(object_words),
       valid_(rt.machine().size(), false) {
   valid_[home_] = true;
+  rt.register_replicated(this);
 }
+
+Replicated::~Replicated() { rt_->unregister_replicated(this); }
 
 sim::Task<> Replicated::ensure(Ctx& ctx) {
   const ProcId p = ctx.proc;
@@ -20,6 +23,17 @@ sim::Task<> Replicated::ensure(Ctx& ctx) {
   if (p == home_ || valid_[p]) {
     ++rt_->mutable_stats().replica_hits;
     co_return;
+  }
+  if (FaultTolerance* ft = rt_->fault_tolerance();
+      ft != nullptr && ft->suspected(home_)) {
+    // The primary's host is dead: wait for its recovery to promote a copy
+    // (or restore one), then fetch from wherever it re-homed.
+    co_await ft->await_object(primary_);
+    home_ = rt_->objects().home_of(primary_);
+    if (p == home_ || valid_[p]) {
+      ++rt_->mutable_stats().replica_hits;
+      co_return;
+    }
   }
   ++rt_->mutable_stats().replica_fetches;
   if (sim::Tracer* tr = rt_->tracer()) {
@@ -51,11 +65,25 @@ void Replicated::rebind(ObjectId new_primary) {
   valid_[home_] = true;
 }
 
+void Replicated::rehome(ProcId new_home) {
+  home_ = new_home;
+  valid_[new_home] = true;
+}
+
 sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
   const CostModel& c = rt_->cost();
+  FaultTolerance* ft = rt_->fault_tolerance();
   std::vector<ProcId> targets;
   for (ProcId p = 0; p < static_cast<ProcId>(valid_.size()); ++p) {
-    if (p != home_ && valid_[p]) targets.push_back(p);
+    if (p == home_ || !valid_[p]) continue;
+    if (ft != nullptr && ft->suspected(p)) {
+      // A dead holder can neither serve its copy nor ack an invalidation:
+      // drop it from the valid set without messaging it (the gathered-ack
+      // barrier below would otherwise never resolve).
+      valid_[p] = false;
+      continue;
+    }
+    targets.push_back(p);
   }
   if (targets.empty()) co_return;
   rt_->mutable_stats().replica_invalidations += targets.size();

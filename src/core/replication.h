@@ -14,8 +14,12 @@ namespace cm::core {
 class Replicated {
  public:
   /// `primary` is the authoritative object; `object_words` is the payload
-  /// size of a replica fetch (the object's contents).
+  /// size of a replica fetch (the object's contents). Registers with the
+  /// runtime's replica registry so crash recovery can promote a copy.
   Replicated(Runtime& rt, ObjectId primary, unsigned object_words);
+  ~Replicated();
+  Replicated(const Replicated&) = delete;
+  Replicated& operator=(const Replicated&) = delete;
 
   [[nodiscard]] ObjectId primary() const noexcept { return primary_; }
   [[nodiscard]] ProcId home() const noexcept { return home_; }
@@ -35,6 +39,11 @@ class Replicated {
   /// replaces the replicated root). All replicas become invalid; callers
   /// should have run `invalidate_all` first so the timing is charged.
   void rebind(ObjectId new_primary);
+
+  /// Crash recovery re-homed the primary (ft::FtLayer promoted the copy at
+  /// `new_home`, or restored one there). Replicas mirror the same state the
+  /// crash could not touch, so the surviving valid set stays valid.
+  void rehome(ProcId new_home);
 
  private:
   Runtime* rt_;

@@ -57,6 +57,18 @@ sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
   stats_.breakdown.add(Category::kNetworkTransit,
                        network_->latency(src, dst, total));
   if (reliable_ == nullptr) {
+    if (ft_ != nullptr && (ft_->suspected(src) || ft_->suspected(dst))) {
+      // Raw fire-and-forget sends have no timeout to cancel from: a send
+      // touching a suspected NIC would simply never resume its awaiter.
+      // Fail fast instead (the reliable path makes the same call inside
+      // ReliableTransport::send).
+      ++stats_.delivery_failures;
+      ++stats_.ft_suspect_aborts;
+      if (sim::Tracer* tr = tracer()) {
+        tr->record(sim::TraceEvent::kFtAbort, src, {{"dst", dst}, {"why", 0}});
+      }
+      co_return false;
+    }
     co_await sim::suspend_to([this, src, dst,
                               total](std::coroutine_handle<> h) {
       network_->send(src, dst, total, net::Traffic::kRuntime,
@@ -64,10 +76,31 @@ sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
     });
     co_return true;
   }
-  co_return co_await reliable_->send(src, dst, total, budget);
+  Cycles deadline = 0;
+  if (ft_ != nullptr && ft_->send_deadline() != 0) {
+    deadline = machine_->engine().now() + ft_->send_deadline();
+  }
+  co_return co_await reliable_->send(src, dst, total, budget, deadline);
+}
+
+sim::Task<> Runtime::evacuate(Ctx& ctx) {
+  const ProcId from = ctx.proc;
+  const ProcId to = ft_->evacuation_target(from);
+  ++stats_.ft_evacuations;
+  if (sim::Tracer* tr = tracer()) {
+    tr->record(sim::TraceEvent::kFtEvacuate, from, {{"to", to}});
+  }
+  // The refuge processor restarts the activation from its coroutine frame
+  // (host-side state survives a NIC death): a fresh thread plus a
+  // scheduling pass, charged there.
+  stats_.breakdown.add(Category::kThreadCreation, cost_.thread_creation);
+  stats_.breakdown.add(Category::kScheduler, cost_.scheduler);
+  co_await machine_->compute(to, cost_.thread_creation + cost_.scheduler);
+  ctx.proc = to;
 }
 
 sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
+  if (ft_ != nullptr && ft_->suspected(ctx.proc)) co_await evacuate(ctx);
   // The locality check is shared with ordinary instance-method dispatch.
   co_await charge(ctx.proc, cost_.locality_check, Category::kLocalityCheck);
   ProcId dest;
@@ -141,6 +174,7 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
 }
 
 sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
+  if (ft_ != nullptr && ft_->suspected(ctx.proc)) co_await evacuate(ctx);
   if (ctx.proc == origin) co_return;
   ++stats_.replies;
   if (sim::Tracer* tr = tracer()) {
@@ -148,7 +182,17 @@ sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
                {{"origin", origin}, {"words", ret_words}});
   }
   co_await send_path(ctx.proc, ret_words);
-  co_await transfer(ctx.proc, origin, ret_words);
+  const bool delivered = co_await transfer(ctx.proc, origin, ret_words);
+  if (!delivered && ft_ != nullptr) {
+    // The short-circuit reply's source NIC died mid-send: the origin
+    // reconstructs the result from the activation's frame, exactly as in
+    // call()'s reply-recovery path. The effects already committed.
+    ++stats_.ft_recovered_replies;
+    if (sim::Tracer* tr = tracer()) {
+      tr->record(sim::TraceEvent::kFtReplyRecovered, origin,
+                 {{"from", ctx.proc}});
+    }
+  }
   co_await receive_reply(origin, ret_words);
   ctx.proc = origin;
 }
@@ -157,6 +201,7 @@ sim::Task<> Runtime::migrate_group(const std::vector<Ctx*>& group,
                                    ObjectId obj, unsigned live_words) {
   if (group.empty()) co_return;
   Ctx& top = *group.front();
+  if (ft_ != nullptr && ft_->suspected(top.proc)) co_await evacuate(top);
   co_await charge(top.proc, cost_.locality_check, Category::kLocalityCheck);
   ProcId dest;
   if (locator_ == nullptr) {

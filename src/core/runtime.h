@@ -29,12 +29,15 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "check/checker.h"
 #include "core/cost_model.h"
+#include "core/ft.h"
 #include "core/location.h"
 #include "core/object.h"
 #include "core/reliable.h"
@@ -51,6 +54,7 @@ namespace cm::core {
 using sim::Cycles;
 using sim::ProcId;
 
+class Replicated;
 class Runtime;
 
 /// Per-activation execution context. `proc` is where the activation is
@@ -116,6 +120,7 @@ class Runtime {
     reliable_cfg_ = cfg;
     reliable_ = std::make_unique<ReliableTransport>(machine_->engine(),
                                                     *network_, stats_, cfg);
+    if (ft_ != nullptr) reliable_->set_fault_tolerance(ft_);
   }
   [[nodiscard]] bool reliability_enabled() const noexcept {
     return reliable_ != nullptr;
@@ -126,6 +131,32 @@ class Runtime {
   /// the event sequence is bit-identical to the pre-locator runtime.
   void set_locator(LocationService* loc) noexcept { locator_ = loc; }
   [[nodiscard]] LocationService* locator() const noexcept { return locator_; }
+
+  /// Install a fault-tolerance service (ft::FtLayer). With none installed
+  /// (the default), no processor is ever suspected, no send ever aborts and
+  /// every code path is bit-identical to the crash-free runtime. The
+  /// suspicion source is forwarded to the reliable transport whenever both
+  /// are present, in either installation order.
+  void set_fault_tolerance(FaultTolerance* ft) noexcept {
+    ft_ = ft;
+    if (reliable_ != nullptr) reliable_->set_fault_tolerance(ft);
+  }
+  [[nodiscard]] FaultTolerance* fault_tolerance() const noexcept {
+    return ft_;
+  }
+
+  /// Replica registry for crash recovery: recovery promotes a valid
+  /// core::Replicated copy instead of restoring from backup when a primary's
+  /// home fail-stops. Replicated instances register themselves on
+  /// construction; registration order is the deterministic scan order.
+  void register_replicated(Replicated* r) { replicated_.push_back(r); }
+  void unregister_replicated(Replicated* r) {
+    std::erase(replicated_, r);
+  }
+  [[nodiscard]] const std::vector<Replicated*>& replicated_objects()
+      const noexcept {
+    return replicated_;
+  }
 
   /// Awaitable runtime message src -> dst carrying `words` payload words
   /// (header added here); resumes at delivery time. Returns true once
@@ -168,91 +199,148 @@ class Runtime {
     static_assert(!std::is_void_v<R>,
                   "method bodies return a value; use call<Unit>");
 
-    // Every instance-method call checks locality (so this is not an extra
-    // cost for computation migration).
-    co_await charge(caller.proc, cost_.locality_check,
-                    Category::kLocalityCheck);
-    ProcId home;
-    if (locator_ == nullptr) {
-      home = objects_->home_of(obj);
-    } else {
-      home = co_await locator_->resolve(caller, obj);
-    }
-
-    if (home == caller.proc) {
-      if (check::Checker* ck = checker()) {
-        // The dispatcher claims locality, so the body is about to touch the
-        // object's state on this processor: the claim must be ground truth.
-        // Sound here because nothing suspends between the resolution's own
-        // truth test and this line.
-        ck->on_object_access(caller.proc, obj, objects_->home_of(obj),
-                             /*write=*/true);
+    for (unsigned attempt = 0;; ++attempt) {
+      if (ft_ != nullptr) {
+        // Typed failure surface: a lost object can never serve the call.
+        if (ft_->object_lost(obj)) throw ObjectLostError(obj);
+        // An activation stranded on a dead processor restarts on a live
+        // one before doing anything else.
+        if (ft_->suspected(caller.proc)) co_await evacuate(caller);
       }
-      ++stats_.local_calls;
+      // Every instance-method call checks locality (so this is not an extra
+      // cost for computation migration).
+      co_await charge(caller.proc, cost_.locality_check,
+                      Category::kLocalityCheck);
+      ProcId home;
+      if (locator_ == nullptr) {
+        home = objects_->home_of(obj);
+      } else {
+        home = co_await locator_->resolve(caller, obj);
+      }
+
+      if (home == caller.proc) {
+        if (check::Checker* ck = checker()) {
+          // The dispatcher claims locality, so the body is about to touch
+          // the object's state on this processor: the claim must be ground
+          // truth. Sound here because nothing suspends between the
+          // resolution's own truth test and this line.
+          ck->on_object_access(caller.proc, obj, objects_->home_of(obj),
+                               /*write=*/true);
+        }
+        ++stats_.local_calls;
+        Ctx callee{this, home};
+        co_return co_await body(callee);
+      }
+
+      // ---- client stub ----
+      ++stats_.remote_calls;
+      if (sim::Tracer* tr = tracer()) {
+        tr->record(sim::TraceEvent::kRpcIssue, caller.proc,
+                   {{"obj", obj}, {"home", home}, {"words", opts.arg_words}});
+      }
+      co_await send_path(caller.proc, opts.arg_words);
+      const ProcId reply_to = caller.proc;
+      const bool arrived =
+          co_await transfer(caller.proc, home, opts.arg_words);
+      if (!arrived) {
+        // Only reachable with a FaultTolerance service installed: the
+        // request's peer was suspected (or the send deadline expired)
+        // before delivery. Wait for the object's recovery to commit, then
+        // re-issue the whole call — the body never started, so the retry
+        // cannot double-execute anything.
+        ++stats_.ft_call_retries;
+        if (ft_ == nullptr || attempt + 1 >= ft_->max_call_retries()) {
+          throw FtError("call on object " + std::to_string(obj) +
+                        " exhausted its retry budget");
+        }
+        co_await ft_->await_object(obj);
+        continue;
+      }
+      if (locator_ != nullptr) {
+        // The hint we resolved may already be stale: chase the forwarding
+        // chain until the request reaches the object's current host.
+        home = co_await locator_->forward(obj, home, opts.arg_words,
+                                          caller.proc);
+        // forward() bails out mid-chase when the object's recovery declares
+        // it lost; surface the typed failure before the locality check
+        // below could misread the unreachable binding.
+        if (ft_ != nullptr && ft_->object_lost(obj)) {
+          throw ObjectLostError(obj);
+        }
+        if (check::Checker* ck = checker()) {
+          // forward() just returned the object's current host with no
+          // suspension since, so its claim can be tested against ground
+          // truth here. (Under the oracle there is no equivalent promise:
+          // the body executes at the home fixed at resolution time —
+          // Prelude dispatch semantics — even if the object was attracted
+          // away mid-flight.)
+          ck->on_object_access(home, obj, objects_->home_of(obj),
+                               /*write=*/true);
+        }
+      }
+      std::uint64_t check_call = 0;
+      if (check::Checker* ck = checker()) {
+        // Replied-exactly-once window, opened once the request has really
+        // arrived (an aborted request transfer is a retry, not a lost
+        // reply): the short-circuit return must deliver this call's reply
+        // once, from wherever the activation ends up.
+        check_call = ck->on_call_begin(reply_to, obj);
+      }
+
+      // ---- server stub (now executing at `home`) ----
+      co_await receive_request(home, opts.arg_words,
+                               opts.short_method ? Dispatch::kShortMethod
+                                                 : Dispatch::kRpcThread);
+      if (opts.short_method) {
+        ++stats_.fast_path_calls;
+      } else {
+        ++stats_.threads_created;
+      }
+
       Ctx callee{this, home};
-      co_return co_await body(callee);
-    }
-
-    // ---- client stub ----
-    ++stats_.remote_calls;
-    std::uint64_t check_call = 0;
-    if (check::Checker* ck = checker()) {
-      // Replied-exactly-once window: the short-circuit return must deliver
-      // this call's reply once, from wherever the activation ends up.
-      check_call = ck->on_call_begin(caller.proc, obj);
-    }
-    if (sim::Tracer* tr = tracer()) {
-      tr->record(sim::TraceEvent::kRpcIssue, caller.proc,
-                 {{"obj", obj}, {"home", home}, {"words", opts.arg_words}});
-    }
-    co_await send_path(caller.proc, opts.arg_words);
-    const ProcId reply_to = caller.proc;
-    co_await transfer(caller.proc, home, opts.arg_words);
-    if (locator_ != nullptr) {
-      // The hint we resolved may already be stale: chase the forwarding
-      // chain until the request reaches the object's current host.
-      home = co_await locator_->forward(obj, home, opts.arg_words,
-                                        caller.proc);
-      if (check::Checker* ck = checker()) {
-        // forward() just returned the object's current host with no
-        // suspension since, so its claim can be tested against ground truth
-        // here. (Under the oracle there is no equivalent promise: the body
-        // executes at the home fixed at resolution time — Prelude dispatch
-        // semantics — even if the object was attracted away mid-flight.)
-        ck->on_object_access(home, obj, objects_->home_of(obj),
-                             /*write=*/true);
+      std::optional<R> result;
+      try {
+        result.emplace(co_await body(callee));
+      } catch (...) {
+        // A typed ft failure unwinding out of a nested call: the thrown
+        // error replaces this call's reply, so excuse its window.
+        if (check::Checker* ck = checker()) {
+          ck->on_call_abandoned(check_call);
+        }
+        throw;
       }
-    }
 
-    // ---- server stub (now executing at `home`) ----
-    co_await receive_request(home, opts.arg_words,
-                             opts.short_method ? Dispatch::kShortMethod
-                                               : Dispatch::kRpcThread);
-    if (opts.short_method) {
-      ++stats_.fast_path_calls;
-    } else {
-      ++stats_.threads_created;
-    }
+      // ---- reply: sent from wherever the method activation ended up. If
+      // it migrated, this short-circuits straight back to the caller. ----
+      ++stats_.replies;
+      co_await send_path(callee.proc, opts.ret_words);
+      const bool replied =
+          co_await transfer(callee.proc, reply_to, opts.ret_words);
+      if (!replied && ft_ != nullptr) {
+        // The activation's processor lost its NIC after the body's effects
+        // committed (host state survives a NIC death). Re-running the body
+        // would double-apply those effects; instead the caller waits out
+        // the object's recovery and reconstructs the result — exactly-once
+        // semantics even across the crash.
+        ++stats_.ft_recovered_replies;
+        if (sim::Tracer* tr = tracer()) {
+          tr->record(sim::TraceEvent::kFtReplyRecovered, reply_to,
+                     {{"obj", obj}, {"from", callee.proc}});
+        }
+        co_await ft_->await_object(obj);
+      }
 
-    Ctx callee{this, home};
-    R result = co_await body(callee);
-
-    // ---- reply: sent from wherever the method activation ended up. If it
-    // migrated, this short-circuits straight back to the caller. ----
-    ++stats_.replies;
-    co_await send_path(callee.proc, opts.ret_words);
-    co_await transfer(callee.proc, reply_to, opts.ret_words);
-
-    // ---- back at the caller: deliver the reply to the blocked thread ----
-    co_await receive_reply(reply_to, opts.ret_words);
-    if (check::Checker* ck = checker()) {
-      ck->on_reply(check_call, reply_to);
+      // ---- back at the caller: deliver the reply to the blocked thread --
+      co_await receive_reply(reply_to, opts.ret_words);
+      if (check::Checker* ck = checker()) {
+        ck->on_reply(check_call, reply_to);
+      }
+      if (sim::Tracer* tr = tracer()) {
+        tr->record(sim::TraceEvent::kRpcReply, reply_to,
+                   {{"obj", obj}, {"from", callee.proc}});
+      }
+      co_return std::move(*result);
     }
-    if (sim::Tracer* tr = tracer()) {
-      tr->record(sim::TraceEvent::kRpcReply, reply_to,
-                 {{"obj", obj}, {"from", callee.proc}});
-    }
-    co_return result;
   }
 
  private:
@@ -273,6 +361,9 @@ class Runtime {
   /// transport; raw send when reliability is disabled.
   [[nodiscard]] sim::Task<bool> transfer_impl(ProcId src, ProcId dst,
                                               unsigned words, unsigned budget);
+  /// Rebind an activation stranded on a suspected processor to its
+  /// evacuation target, charging thread re-creation there. Requires ft_.
+  [[nodiscard]] sim::Task<> evacuate(Ctx& ctx);
 
   sim::Machine* machine_;
   net::Network* network_;
@@ -281,7 +372,9 @@ class Runtime {
   RtStats stats_;
   ReliableConfig reliable_cfg_;
   std::unique_ptr<ReliableTransport> reliable_;
-  LocationService* locator_ = nullptr;  // null = oracle mode
+  LocationService* locator_ = nullptr;   // null = oracle mode
+  FaultTolerance* ft_ = nullptr;         // null = crash-free machine
+  std::vector<Replicated*> replicated_;  // replica registry for recovery
 };
 
 }  // namespace cm::core

@@ -108,6 +108,16 @@ struct RtStats {
   std::uint64_t migration_fallbacks = 0; // MOVE gave up; the activation
                                          // stayed put and later accesses
                                          // fall back to plain RPC
+
+  // Fault-tolerance counters; all stay zero unless a FaultTolerance service
+  // is installed (fail-stop crash runs).
+  std::uint64_t ft_suspect_aborts = 0;   // sends aborted: peer suspected dead
+  std::uint64_t ft_deadline_aborts = 0;  // sends aborted: deadline expired
+  std::uint64_t ft_call_retries = 0;     // calls re-issued after an abort
+  std::uint64_t ft_recovered_replies = 0;  // replies reconstructed after the
+                                           // reply transfer failed (effects
+                                           // committed exactly once)
+  std::uint64_t ft_evacuations = 0;      // activations rebound off dead procs
   Breakdown breakdown;
 };
 

@@ -230,10 +230,26 @@ sim::Task<ProcId> Locator::resolve(core::Ctx& ctx, ObjectId id) {
   co_return target;
 }
 
+ProcId Locator::live_shard(ObjectId id) {
+  const ProcId shard = dir_[id].shard;
+  if (ft_ == nullptr || !ft_->suspected(shard)) return shard;
+  for (unsigned r = 1; r < replicas_; ++r) {
+    const auto rep = static_cast<ProcId>((shard + r) % nprocs_);
+    if (!ft_->suspected(rep)) {
+      ++stats_.dir_failovers;
+      trace(TraceEvent::kFtFailover, rep, {{"obj", id}, {"dead", shard}});
+      return rep;
+    }
+  }
+  // Every replica is suspected; answer with the primary and let the query
+  // fail like any other send to a dead host.
+  return shard;
+}
+
 sim::Task<ProcId> Locator::dir_query(ProcId p, ObjectId id) {
   ++stats_.dir_queries;
   DirEntry& e = dir_[id];
-  const ProcId shard = e.shard;
+  const ProcId shard = live_shard(id);
   const CostModel& c = rt_->cost();
   if (shard == p) {
     // The shard is co-resident: an ordinary local table walk.
@@ -259,6 +275,13 @@ sim::Task<ProcId> Locator::dir_query(ProcId p, ObjectId id) {
 sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
                                    ProcId requester) {
   ++stats_.deliveries;
+  if (ft_ != nullptr && !ft_->object_lost(id) &&
+      ft_->suspected(owner_truth(id))) {
+    // The payload is chasing an object whose host just died. Park until
+    // crash recovery re-homes (or condemns) it, then chase the fresh
+    // location; the chase below never launches into a dead NIC.
+    co_await ft_->await_object(id);
+  }
   if (owner_truth(id) == at) co_return at;  // hint was good
   const CostModel& c = rt_->cost();
   check::Checker* ck = rt_->checker();
@@ -271,18 +294,39 @@ sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
   // a bounce hop is far cheaper than a full object move, so the chase
   // always catches up with the object — see DESIGN.md §9 for the bound.
   while (owner_truth(id) != cur) {
-    hops.push_back(cur);
-    ProcId next;
+    if (ft_ != nullptr && ft_->object_lost(id)) {
+      // Recovery condemned the object mid-chase. Surface the stop to the
+      // caller (Runtime::call re-checks object_lost after forward() and
+      // throws ObjectLostError); the chase just stops burning cycles.
+      co_return cur;
+    }
+    ProcId next = sim::kNoProc;
     auto& fw = procs_[cur].fwd;
-    if (const auto it = fw.find(id); it != fw.end()) {
-      next = it->second;
-    } else {
+    if (const auto it = fw.find(id); it != fw.end()) next = it->second;
+    if (next != sim::kNoProc && ft_ != nullptr && ft_->suspected(next)) {
+      // The pointer leads into a dead host: cut the chain here, wait out
+      // any in-flight recovery, and re-resolve through the directory.
+      ++stats_.chain_cuts;
+      trace(TraceEvent::kFtChainCut, cur, {{"obj", id}, {"dead", next}});
+      fw.erase(id);
+      if (ck != nullptr) ck->on_fwd_erase(cur, id);
+      co_await ft_->await_object(id);
+      next = sim::kNoProc;
+    }
+    if (next == sim::kNoProc) {
       // No pointer here. By protocol invariants every hint names a host
       // that once held the object (and therefore left a pointer when it
-      // departed), so this is defensive: re-consult the directory.
+      // departed), so without crashes this is defensive: re-consult the
+      // directory.
       ++stats_.fwd_fallbacks;
       next = co_await dir_query(cur, id);
       if (next == cur) {
+        if (ft_ != nullptr) {
+          // A recovery commit can land the object right here between the
+          // loop check and the directory answer; re-test the loop
+          // condition instead of declaring the object lost.
+          continue;
+        }
         std::fprintf(stderr,
                      "Locator::forward: object %u lost (no forwarding "
                      "pointer at proc %u and directory names it)\n",
@@ -290,6 +334,14 @@ sim::Task<ProcId> Locator::forward(ObjectId id, ProcId at, unsigned words,
         std::abort();
       }
     }
+    if (ft_ != nullptr && ft_->suspected(next)) {
+      // The directory still names the dead owner: its recovery has not
+      // committed yet. Wait for the commit rather than launching the
+      // payload into a dead NIC.
+      co_await ft_->await_object(id);
+      continue;
+    }
+    hops.push_back(cur);
     ++stats_.bounces;
     if (ck != nullptr) ck->on_chase_hop(chase, cur, next);
     trace(TraceEvent::kLocBounce, cur, {{"obj", id}, {"next", next}});
@@ -341,7 +393,15 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
                                      unsigned size_words) {
   const ProcId mover = ctx.proc;
   DirEntry& e = dir_[id];
-  const ProcId shard = e.shard;
+  if (ft_ != nullptr && (ft_->suspected(mover) || ft_->object_lost(id))) {
+    // A dead mover cannot receive the object, and a condemned object has
+    // nothing to ship. Refuse up front; the caller falls back to RPC.
+    ++stats_.move_aborts;
+    co_return false;
+  }
+  // One shard pick for the whole protocol: all four control legs must talk
+  // to the same (replica) entry host or the movers queue would split.
+  const ProcId shard = live_shard(id);
   const CostModel& c = rt_->cost();
   const unsigned ctl = cfg_.control_words;
 
@@ -366,6 +426,21 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
     // Post-lock re-check: a racing mover from our processor (or a move we
     // chained behind) already brought the object here while we queued.
     ++stats_.move_races;
+    if (ck != nullptr) ck->on_lock_released(&ctx, &e.movers);
+    e.movers.unlock();
+    if (shard != mover) {
+      co_await send_ctl(shard, cfg_.reply_words);
+      co_await rt_->transfer(shard, mover, cfg_.reply_words);
+      co_await recv_reply(mover, cfg_.reply_words);
+    }
+    co_return false;
+  }
+  if (ft_ != nullptr && (ft_->suspected(owner) || ft_->suspected(mover))) {
+    // While we queued, the owner died (crash recovery will re-home the
+    // object — a FETCH would target a dead NIC) or the mover itself was
+    // suspected (nothing left to ship to). Abort along the same legs as a
+    // lost race so the cycle accounting stays comparable.
+    ++stats_.move_aborts;
     if (ck != nullptr) ck->on_lock_released(&ctx, &e.movers);
     e.movers.unlock();
     if (shard != mover) {
@@ -403,6 +478,25 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
       {{Category::kObjectMove,
         c.receiver_total(size_words, /*create_thread=*/true) + c.oid()}});
   co_await rt_->machine().compute(mover, install_cost);
+  if (ft_ != nullptr &&
+      (ft_->suspected(mover) || owner_truth(id) != owner)) {
+    // The mover died with the state in flight, or the owner died and crash
+    // recovery re-homed the object before we could commit. Either way this
+    // move must not land: retract the forwarding pointer we published (if
+    // recovery has not already scrubbed it) and release the entry.
+    ++stats_.move_aborts;
+    auto& ofw = procs_[owner].fwd;
+    if (const auto it = ofw.find(id); it != ofw.end() && it->second == mover) {
+      ofw.erase(it);
+      if (ck != nullptr) ck->on_fwd_erase(owner, id);
+    }
+    if (ck != nullptr) {
+      ck->on_move_end(id);
+      ck->on_lock_released(&ctx, &e.movers);
+    }
+    e.movers.unlock();
+    co_return false;
+  }
   rt_->objects().move(id, mover);
   if (ck != nullptr) ck->on_move_commit(id, owner, mover);
   procs_[mover].fwd.erase(id);  // it lives here now; no pointer needed
@@ -434,6 +528,41 @@ sim::Task<bool> Locator::move_object(core::Ctx& ctx, ObjectId id,
 }
 
 // ---------------------------------------------------------------------------
+// Crash recovery commit. Host-global metadata surgery: the directory entry
+// flips to the refuge host and every pointer or hint that would route a
+// request into the dead processor is scrubbed. ft::FtLayer charges the
+// recovery broadcast's cycles; this hook applies its effect.
+
+void Locator::on_rehome(ObjectId id, ProcId from, ProcId to) {
+  if (!attached_) return;
+  check::Checker* ck = rt_->checker();
+  dir_[id].owner = to;
+  // The object lives at `to` now: a forwarding pointer there would shadow
+  // the local table (mirrors the erase in move_object's install step).
+  auto& tfw = procs_[to].fwd;
+  if (const auto it = tfw.find(id); it != tfw.end()) {
+    tfw.erase(it);
+    if (ck != nullptr) ck->on_fwd_erase(to, id);
+  }
+  procs_[to].cache.erase(id);
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    auto& fw = procs_[p].fwd;
+    const auto it = fw.find(id);
+    if (it != fw.end() &&
+        (p == from || (ft_ != nullptr && ft_->suspected(it->second)))) {
+      // Pointers held BY the dead host or pointing INTO a dead host are
+      // both dead ends for this object; cut them all in one sweep.
+      fw.erase(it);
+      if (ck != nullptr) ck->on_fwd_erase(p, id);
+    }
+    if (const auto hint = procs_[p].cache.peek(id);
+        hint.has_value() && ft_ != nullptr && ft_->suspected(*hint)) {
+      procs_[p].cache.erase(id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 void put_loc_stats(core::Metrics& m, const LocStats& s) {
   m.put("loc.local_hits", s.local_hits);
@@ -454,6 +583,9 @@ void put_loc_stats(core::Metrics& m, const LocStats& s) {
   m.put("loc.fwd_fallbacks", s.fwd_fallbacks);
   m.put("loc.moves", s.moves);
   m.put("loc.move_races", s.move_races);
+  m.put("loc.dir_failovers", s.dir_failovers);
+  m.put("loc.chain_cuts", s.chain_cuts);
+  m.put("loc.move_aborts", s.move_aborts);
 }
 
 }  // namespace cm::loc

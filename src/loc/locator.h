@@ -91,6 +91,9 @@ struct LocStats {
   std::uint64_t fwd_fallbacks = 0; // missing pointer -> directory re-query
   std::uint64_t moves = 0;         // completed home-serialised moves
   std::uint64_t move_races = 0;    // movers that lost: object arrived first
+  std::uint64_t dir_failovers = 0; // queries re-routed to a replica shard
+  std::uint64_t chain_cuts = 0;    // forwarding pointers through dead hosts cut
+  std::uint64_t move_aborts = 0;   // moves abandoned because a party died
 
   [[nodiscard]] double hit_rate() const {
     const auto n = cache_hits + cache_misses;
@@ -156,6 +159,26 @@ class Locator final : public core::LocationService {
   /// Directory shard serving `id` under the configured policy.
   [[nodiscard]] ProcId shard_of(ObjectId id) const;
 
+  /// Install a failure detector and the shard replication degree. With a
+  /// detector installed, queries whose primary shard is suspected re-route
+  /// to the first live replica `(shard + r) % nprocs` (r = 1..replicas-1),
+  /// forwarding chains passing through dead hosts are cut and re-resolved,
+  /// and moves involving a dead party abort instead of hanging. Passing
+  /// nullptr (the default state) keeps every path bit-identical to a
+  /// build without fault tolerance.
+  void set_fault_tolerance(core::FaultTolerance* ft,
+                           unsigned dir_replicas) noexcept {
+    ft_ = ft;
+    replicas_ = dir_replicas == 0 ? 1 : dir_replicas;
+  }
+
+  /// Crash recovery committed `id`'s re-home from `from` (the dead host) to
+  /// `to`. Flips the directory entry and scrubs metadata that names the dead
+  /// host: its own forwarding pointer, every pointer and cache hint aimed at
+  /// it. Host-global mutation, mirroring a recovery broadcast whose cycle
+  /// costs ft::FtLayer charges.
+  void on_rehome(ObjectId id, ProcId from, ProcId to);
+
   // ---- LocationService ----
   [[nodiscard]] sim::Task<ProcId> resolve(core::Ctx& ctx,
                                           ObjectId obj) override;
@@ -196,6 +219,13 @@ class Locator final : public core::LocationService {
   /// `p`'s translation cache with the answer.
   [[nodiscard]] sim::Task<ProcId> dir_query(ProcId p, ObjectId id);
 
+  /// Shard to consult for `id` right now: the primary unless a failure
+  /// detector says it is dead, in which case the first live replica in
+  /// `(shard + r) % nprocs` order (falling back to the primary if every
+  /// replica is suspected — the query then fails like any send to a dead
+  /// host). Counts a failover and traces when it re-routes.
+  [[nodiscard]] ProcId live_shard(ObjectId id);
+
   /// Record per-category breakdown entries and return their cycle sum, for
   /// one atomic machine.compute() charge. (Not a coroutine: initializer
   /// lists cannot live in a coroutine frame.)
@@ -217,6 +247,8 @@ class Locator final : public core::LocationService {
   std::vector<ProcState> procs_;
   LocStats stats_;
   core::AdaptiveChooser* chooser_ = nullptr;
+  core::FaultTolerance* ft_ = nullptr;
+  unsigned replicas_ = 1;  // directory shard replication degree
 };
 
 /// Metrics schema helper: exports LocStats under "loc." keys.

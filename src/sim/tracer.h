@@ -57,6 +57,16 @@ enum class TraceEvent : unsigned {
   kLocMiss,      // cache miss; a directory shard was queried
   kLocBounce,    // request landed on a stale host; forwarded one hop
   kLocCompress,  // chain collapsed after the request found the object
+  // ft: fail-stop failure detection and recovery.
+  kFtSuspect,         // detector declared a processor's NIC dead
+  kFtAbort,           // reliable send cancelled (peer suspected / deadline)
+  kFtEvacuate,        // stranded activation rebound to a live processor
+  kFtFailover,        // directory lookup re-routed to a shard replica
+  kFtChainCut,        // forwarding chain through a dead node severed
+  kFtPromote,         // object recovered by promoting a replica copy
+  kFtRehome,          // object recovery committed at its new home
+  kFtLost,            // object declared unrecoverable
+  kFtReplyRecovered,  // reply reconstructed after its transfer failed
   // applications.
   kBalancerVisit,   // counting network: token traverses a balancer
   kBTreeNodeVisit,  // B-tree: operation examines a node
@@ -88,6 +98,15 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kLocMiss: return "loc.miss";
     case TraceEvent::kLocBounce: return "loc.bounce";
     case TraceEvent::kLocCompress: return "loc.compress";
+    case TraceEvent::kFtSuspect: return "ft.suspect";
+    case TraceEvent::kFtAbort: return "ft.abort";
+    case TraceEvent::kFtEvacuate: return "ft.evacuate";
+    case TraceEvent::kFtFailover: return "ft.failover";
+    case TraceEvent::kFtChainCut: return "ft.chain_cut";
+    case TraceEvent::kFtPromote: return "ft.promote";
+    case TraceEvent::kFtRehome: return "ft.rehome";
+    case TraceEvent::kFtLost: return "ft.lost";
+    case TraceEvent::kFtReplyRecovered: return "ft.reply_recovered";
     case TraceEvent::kBalancerVisit: return "balancer.visit";
     case TraceEvent::kBTreeNodeVisit: return "btree.node_visit";
     case TraceEvent::kCount: break;
@@ -128,6 +147,16 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kLocBounce:
     case TraceEvent::kLocCompress:
       return "loc";
+    case TraceEvent::kFtSuspect:
+    case TraceEvent::kFtAbort:
+    case TraceEvent::kFtEvacuate:
+    case TraceEvent::kFtFailover:
+    case TraceEvent::kFtChainCut:
+    case TraceEvent::kFtPromote:
+    case TraceEvent::kFtRehome:
+    case TraceEvent::kFtLost:
+    case TraceEvent::kFtReplyRecovered:
+      return "ft";
     case TraceEvent::kBalancerVisit:
     case TraceEvent::kBTreeNodeVisit:
       return "app";
