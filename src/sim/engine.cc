@@ -25,7 +25,10 @@ void Engine::run() {
 
 void Engine::run_until(Cycles t) {
   while (!queue_.empty() && queue_.top().t <= t) step();
-  if (now_ < t) now_ = t;
+  // Advance the clock to `t` only when nothing is left to execute: with
+  // events still pending past `t`, the clock must stay at the last executed
+  // event's time so it never runs ahead of work the queue still owes.
+  if (queue_.empty() && now_ < t) now_ = t;
 }
 
 void Engine::run_bounded(std::size_t max_events) {

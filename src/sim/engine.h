@@ -44,7 +44,8 @@ class Engine {
   void run();
 
   /// Run events with timestamp <= `t`; afterwards `now() == t` if the queue
-  /// emptied earlier, else `now()` is the last executed event's time.
+  /// drained, else `now()` is the last executed event's time (the clock
+  /// never advances past events that are still pending).
   void run_until(Cycles t);
 
   /// Run at most `max_events` further events (safety valve for tests).

@@ -86,6 +86,35 @@ TEST(Engine, RunUntilAdvancesClockWhenQueueEmpty) {
   EXPECT_EQ(eng.now(), 1234u);
 }
 
+TEST(Engine, RunUntilDoesNotAdvancePastPendingEvents) {
+  // Regression: run_until(t) used to set now() = t even with unexecuted
+  // events pending past t, letting the clock run ahead of owed work. With
+  // events remaining, now() must stay at the last executed event's time.
+  Engine eng;
+  eng.at(40, [] {});
+  eng.at(90, [] {});
+  eng.run_until(55);
+  EXPECT_EQ(eng.now(), 40u);  // not 55: the event at 90 is still pending
+  EXPECT_EQ(eng.pending(), 1u);
+
+  // A relative schedule after the partial run hangs off the last executed
+  // event's time, so it still lands before the pending event.
+  Cycles fired_at = 0;
+  eng.after(10, [&] { fired_at = eng.now(); });
+  eng.run();
+  EXPECT_EQ(fired_at, 50u);
+  EXPECT_EQ(eng.now(), 90u);
+}
+
+TEST(Engine, RunUntilWithNoRunnableEventsKeepsClock) {
+  Engine eng;
+  eng.at(100, [] {});
+  eng.run_until(99);
+  EXPECT_EQ(eng.now(), 0u);  // nothing executed, nothing drained
+  eng.run_until(100);
+  EXPECT_EQ(eng.now(), 100u);  // drained exactly at the boundary
+}
+
 TEST(Engine, RunBoundedLimitsEventCount) {
   Engine eng;
   int count = 0;
