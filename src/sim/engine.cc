@@ -6,14 +6,14 @@ namespace cm::sim {
 
 void Engine::at(Cycles t, std::function<void()> fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, seq_++, std::move(fn)});
+  queue_.push(t, seq_++, std::move(fn));
 }
 
 void Engine::step() {
-  // priority_queue::top() is const; move out via const_cast-free copy of the
-  // wrapper. We pop first so the handler may schedule new events freely.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  // pop_move() genuinely moves the event out of the queue (no const_cast —
+  // see HeapEventQueue). We pop before invoking so the handler may schedule
+  // new events freely.
+  HeapEvent ev = queue_.pop_move();
   now_ = ev.t;
   ++executed_;
   ev.fn();
@@ -24,7 +24,7 @@ void Engine::run() {
 }
 
 void Engine::run_until(Cycles t) {
-  while (!queue_.empty() && queue_.top().t <= t) step();
+  while (!queue_.empty() && queue_.min_time() <= t) step();
   // Advance the clock to `t` only when nothing is left to execute: with
   // events still pending past `t`, the clock must stay at the last executed
   // event's time so it never runs ahead of work the queue still owes.

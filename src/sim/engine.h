@@ -4,9 +4,8 @@
 
 #include <cstddef>
 #include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/types.h"
 
 namespace cm::check {
@@ -69,21 +68,9 @@ class Engine {
   [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
 
  private:
-  struct Event {
-    Cycles t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
   void step();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  HeapEventQueue queue_;
   Tracer* tracer_ = nullptr;
   check::Checker* checker_ = nullptr;
   Cycles now_ = 0;

@@ -1,0 +1,70 @@
+// Event-queue backends for the simulation engine.
+//
+// `HeapEventQueue` is the classic binary-heap priority queue over full event
+// records, kept both as the reference implementation for conformance tests
+// and as the measured baseline for the host-performance harness. Unlike
+// `std::priority_queue` — whose `top()` is const and therefore cannot hand
+// out its payload without a copy or a const_cast — it is built directly on
+// `std::push_heap`/`std::pop_heap` and exposes a real `pop_move()`: the heap
+// algorithms rotate the minimum element to the back of the vector, from
+// where it is legitimately moved out.
+//
+// Ordering is lexicographic (t, seq): earlier timestamps first, and FIFO by
+// insertion sequence within a timestamp — the determinism contract every
+// experiment in this repo leans on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cm::sim {
+
+/// A scheduled closure with its (time, insertion-sequence) ordering key.
+struct HeapEvent {
+  Cycles t;
+  std::uint64_t seq;
+  std::function<void()> fn;
+};
+
+class HeapEventQueue {
+ public:
+  void push(Cycles t, std::uint64_t seq, std::function<void()> fn) {
+    heap_.push_back(HeapEvent{t, seq, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Earliest (t, seq) event's timestamp; undefined when empty.
+  [[nodiscard]] Cycles min_time() const noexcept { return heap_.front().t; }
+
+  /// Remove and return the earliest (t, seq) event. `pop_heap` swaps it to
+  /// the back of the vector, so the move-out is from a mutable element —
+  /// no const_cast, no container invariant at risk.
+  [[nodiscard]] HeapEvent pop_move() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    HeapEvent ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  // Max-heap comparator inverted into a min-heap on (t, seq).
+  struct Later {
+    bool operator()(const HeapEvent& a, const HeapEvent& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<HeapEvent> heap_;
+};
+
+}  // namespace cm::sim
