@@ -221,6 +221,8 @@ RunStats run_counting(const CountingConfig& cfg) {
   out.runtime = rt.stats();
   out.net = network.stats();
   out.completed_at = eng.now();
+  out.events_executed = eng.events_executed();
+  out.clamped_events = eng.clamped_events();
   out.total_exited = cn.total_exited();
   out.step_property = cn.has_step_property();
   if (ftl != nullptr) {
@@ -347,6 +349,8 @@ RunStats run_btree(const BTreeConfig& cfg) {
   out.runtime = rt.stats();
   out.net = network.stats();
   out.completed_at = eng.now();
+  out.events_executed = eng.events_executed();
+  out.clamped_events = eng.clamped_events();
   out.btree_keys = bt.num_keys();
   out.btree_digest = bt.digest_host();
   out.invariants_ok = bt.check_invariants();
@@ -380,6 +384,8 @@ void put_run_stats(core::Metrics& m, const RunStats& s) {
   m.put("words_per_10", s.words_per_10());
   m.put("cache_hit_rate", s.cache_hit_rate);
   m.put("completed_at", s.completed_at);
+  m.put("sim.events_executed", s.events_executed);
+  m.put("sim.clamped_events", s.clamped_events);
   m.put("total_exited", s.total_exited);
   m.put("step_property", s.step_property);
   m.put("btree_keys", static_cast<std::uint64_t>(s.btree_keys));

@@ -44,6 +44,9 @@ struct RunStats {
   core::RtStats runtime;  // full runtime counters incl. Table-5 breakdown
   net::NetStats net;      // full network counters incl. injected faults
   sim::Cycles completed_at = 0;  // engine time when the run drained
+  std::uint64_t events_executed = 0;  // engine events the run dispatched
+  std::uint64_t clamped_events = 0;   // past-time schedules clamped to now()
+                                      // (nonzero = causality bug upstream)
 
   // Application-level end state, for chaos invariant checks (identical
   // under any fault plan when requesters do fixed work).

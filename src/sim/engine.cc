@@ -1,11 +1,19 @@
 #include "sim/engine.h"
 
+#include <cassert>
 #include <utility>
 
 namespace cm::sim {
 
 void Engine::at(Cycles t, std::function<void()> fn) {
-  if (t < now_) t = now_;
+  if (t < now_) {
+    // Scheduling strictly into the past cannot arise from a correct cost
+    // model (zero-latency round-trips land exactly on now()). Make the
+    // causality bug loud: abort in Debug, count-and-clamp in Release.
+    ++clamped_;
+    assert(!"Engine::at: event scheduled in the past (clamp distance > 0)");
+    t = now_;
+  }
   queue_.push(t, seq_++, std::move(fn));
 }
 

@@ -32,8 +32,12 @@ class Engine {
   /// Current simulated time in cycles.
   [[nodiscard]] Cycles now() const noexcept { return now_; }
 
-  /// Schedule `fn` to run at absolute time `t` (clamped to `now()` if in the
-  /// past, which can only arise from zero-latency round-trips).
+  /// Schedule `fn` to run at absolute time `t`. A correct caller never
+  /// passes `t < now()` — a zero-latency round-trip lands exactly on
+  /// `now()`, never before it. A past timestamp is a causality bug in the
+  /// scheduling layer: Release builds clamp it to `now()` and count it in
+  /// `clamped_events()` (exported as the `sim.clamped_events` metric) so it
+  /// is visible instead of silently swallowed; Debug builds assert.
   void at(Cycles t, std::function<void()> fn);
 
   /// Schedule `fn` to run `d` cycles from now.
@@ -53,6 +57,13 @@ class Engine {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
+
+  /// Events whose requested time lay strictly in the past (clamp distance
+  /// > 0) and were clamped to `now()`. Nonzero means a layer scheduled
+  /// backwards in time — a causality bug; Debug builds assert instead.
+  [[nodiscard]] std::uint64_t clamped_events() const noexcept {
+    return clamped_;
+  }
 
   /// Event tracing is opt-in: every instrumented layer reaches its tracer
   /// through the engine it already holds, so with no tracer installed (the
@@ -76,6 +87,7 @@ class Engine {
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace cm::sim

@@ -46,14 +46,33 @@ TEST(Engine, AfterSchedulesRelativeToNow) {
   EXPECT_EQ(observed, 150u);
 }
 
-TEST(Engine, PastTimestampsClampToNow) {
+TEST(Engine, SchedulingAtNowIsNotAClamp) {
+  // A zero-latency round-trip lands exactly on now(): legal, not counted.
+  Engine eng;
+  Cycles observed = 0;
+  eng.at(100, [&] {
+    eng.at(eng.now(), [&] { observed = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(observed, 100u);
+  EXPECT_EQ(eng.clamped_events(), 0u);
+}
+
+TEST(Engine, PastTimestampsClampToNowAndAreCounted) {
+  // Scheduling strictly into the past is a causality bug: Debug builds
+  // assert; Release builds clamp to now() and expose the count.
   Engine eng;
   Cycles observed = 0;
   eng.at(100, [&] {
     eng.at(10, [&] { observed = eng.now(); });  // in the past
   });
+#ifdef NDEBUG
   eng.run();
   EXPECT_EQ(observed, 100u);
+  EXPECT_EQ(eng.clamped_events(), 1u);
+#else
+  EXPECT_DEATH(eng.run(), "scheduled in the past");
+#endif
 }
 
 TEST(Engine, EventsScheduledDuringRunAreExecuted) {
