@@ -123,7 +123,7 @@ Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
 }  // namespace
 
 RunStats run_counting(const CountingConfig& cfg) {
-  sim::Engine eng;
+  sim::Engine eng(cfg.queue_backend);
   std::unique_ptr<sim::Tracer> tracer;
   if (!cfg.trace_path.empty()) {
     tracer = std::make_unique<sim::Tracer>(eng);
@@ -247,7 +247,7 @@ RunStats run_counting(const CountingConfig& cfg) {
 }
 
 RunStats run_btree(const BTreeConfig& cfg) {
-  sim::Engine eng;
+  sim::Engine eng(cfg.queue_backend);
   std::unique_ptr<sim::Tracer> tracer;
   if (!cfg.trace_path.empty()) {
     tracer = std::make_unique<sim::Tracer>(eng);

@@ -24,6 +24,7 @@
 #include "ft/ft.h"
 #include "loc/locator.h"
 #include "net/faulty_net.h"
+#include "sim/event_queue.h"
 #include "sim/types.h"
 
 namespace cm::apps {
@@ -134,6 +135,11 @@ struct CountingConfig {
   // planned NIC deaths. Disabled (default) keeps the run bit-identical to a
   // build without the layer. Pair with `faults.nic_fail_at` and fixed-work
   // mode so the run drains deterministically.
+  // Event-queue backend: kCalendar (default) is the calendar/arena hot
+  // path; kHeap is the legacy binary heap kept as the conformance
+  // reference and host-perf baseline. Same-seed runs are bit-identical
+  // across backends.
+  sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
   ft::FtConfig ft;
 };
 
@@ -161,6 +167,7 @@ struct BTreeConfig {
   bool check = false;          // see CountingConfig
   check::CheckConfig check_cfg;
   ft::FtConfig ft;  // see CountingConfig
+  sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

@@ -26,20 +26,19 @@ CoherentMemory::CoherentMemory(sim::Machine& machine, net::Network& network,
     : machine_(&machine),
       network_(&network),
       params_(params),
-      heap_(machine.size()) {
+      heap_(machine.size()),
+      controllers_(machine.size()) {
   assert(machine.size() <= kMaxProcs &&
          "full-map directory sharer vector is fixed-width");
   caches_.reserve(machine.size());
-  controllers_.reserve(machine.size());
   for (sim::ProcId p = 0; p < machine.size(); ++p) {
     caches_.emplace_back(cache_params);
-    controllers_.emplace_back(p);
   }
 }
 
 auto CoherentMemory::controller(sim::ProcId p) {
   return sim::suspend_to([this, p](std::coroutine_handle<> h) {
-    const sim::Cycles done = controllers_[p].acquire(
+    const sim::Cycles done = controllers_.acquire(p,
         machine_->engine().now(), params_.controller_occupancy);
     machine_->engine().at(done, [h] { h.resume(); });
   });
@@ -208,7 +207,7 @@ sim::Task<> CoherentMemory::serve_front(Line line) {
                 [this, s, line, home, remaining, all_acked] {
                   // At the sharer: controller handles INV, then acks. A
                   // stale sharer (silent eviction) acks without effect.
-                  const sim::Cycles fin = controllers_[s].acquire(
+                  const sim::Cycles fin = controllers_.acquire(s,
                       machine_->engine().now(), params_.controller_occupancy);
                   machine_->engine().at(fin, [this, s, line, home, remaining,
                                               all_acked] {
@@ -285,7 +284,7 @@ void CoherentMemory::handle_eviction(sim::ProcId p, const Eviction& victim) {
   const sim::ProcId home = home_of_line(line);
   network_->send(p, home, params_.words_data, net::Traffic::kCoherence,
                  [this, p, line, home] {
-                   const sim::Cycles fin = controllers_[home].acquire(
+                   const sim::Cycles fin = controllers_.acquire(home,
                        machine_->engine().now(), params_.controller_occupancy);
                    machine_->engine().at(fin, [this, p, line] {
                      Dir& d = dirs_[line];

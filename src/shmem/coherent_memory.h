@@ -165,7 +165,7 @@ class CoherentMemory {
   ProtocolParams params_;
   GlobalHeap heap_;
   std::vector<Cache> caches_;
-  std::vector<sim::Processor> controllers_;  // FCFS memory controllers
+  sim::ProcessorFile controllers_;  // FCFS memory controllers
   std::unordered_map<Line, Dir> dirs_;
   std::unordered_map<std::uint64_t, Mshr> mshrs_;
   MemStats stats_;

@@ -1,46 +1,53 @@
 #include "sim/engine.h"
 
-#include <cassert>
-#include <utility>
-
 namespace cm::sim {
 
-void Engine::at(Cycles t, std::function<void()> fn) {
-  if (t < now_) {
-    // Scheduling strictly into the past cannot arise from a correct cost
-    // model (zero-latency round-trips land exactly on now()). Make the
-    // causality bug loud: abort in Debug, count-and-clamp in Release.
-    ++clamped_;
-    assert(!"Engine::at: event scheduled in the past (clamp distance > 0)");
-    t = now_;
-  }
-  queue_.push(t, seq_++, std::move(fn));
+Engine::~Engine() {
+  // Destroy (without running) any callbacks still queued in the arena;
+  // heap-backend events clean themselves up via std::function.
+  while (!cal_.empty()) arena_.destroy(cal_.pop_move().idx);
 }
 
 void Engine::step() {
-  // pop_move() genuinely moves the event out of the queue (no const_cast —
-  // see HeapEventQueue). We pop before invoking so the handler may schedule
-  // new events freely.
-  HeapEvent ev = queue_.pop_move();
-  now_ = ev.t;
-  ++executed_;
-  ev.fn();
+  // Pop before invoking so the handler may schedule new events freely. Both
+  // backends genuinely move the event out — no const_cast (see
+  // event_queue.h); the calendar path moves a 24-byte key and leaves the
+  // callback in its arena slot.
+  if (backend_ == QueueBackend::kCalendar) {
+    const EventKey k = cal_.pop_move();
+    now_ = k.t;
+    ++executed_;
+    arena_.run(k.idx);
+  } else {
+    HeapEvent ev = heap_.pop_move();
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
 }
 
 void Engine::run() {
-  while (!queue_.empty()) step();
+  if (backend_ == QueueBackend::kCalendar) {
+    while (!cal_.empty()) step();
+  } else {
+    while (!heap_.empty()) step();
+  }
 }
 
 void Engine::run_until(Cycles t) {
-  while (!queue_.empty() && queue_.min_time() <= t) step();
+  if (backend_ == QueueBackend::kCalendar) {
+    while (!cal_.empty() && cal_.min_time() <= t) step();
+  } else {
+    while (!heap_.empty() && heap_.min_time() <= t) step();
+  }
   // Advance the clock to `t` only when nothing is left to execute: with
   // events still pending past `t`, the clock must stay at the last executed
   // event's time so it never runs ahead of work the queue still owes.
-  if (queue_.empty() && now_ < t) now_ = t;
+  if (idle() && now_ < t) now_ = t;
 }
 
 void Engine::run_bounded(std::size_t max_events) {
-  for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) step();
+  for (std::size_t i = 0; i < max_events && !idle(); ++i) step();
 }
 
 }  // namespace cm::sim

@@ -2,8 +2,9 @@
 // queue. Deterministic: events at equal timestamps run in scheduling order.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/types.h"
@@ -23,25 +24,52 @@ class Tracer;
 /// The engine is single-threaded on the host: all "parallelism" of the
 /// simulated machine is expressed through event interleavings, which makes
 /// every experiment bit-for-bit reproducible for a fixed seed.
+///
+/// Two queue backends share that contract (see event_queue.h): the default
+/// `kCalendar` hot path stores callbacks in a slab arena behind a two-level
+/// ladder queue; `kHeap` is the legacy binary heap of `std::function`s,
+/// kept as the conformance reference and the host-perf baseline. Same-seed
+/// runs are bit-identical across backends.
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(QueueBackend backend = QueueBackend::kCalendar) noexcept
+      : backend_(backend) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] QueueBackend backend() const noexcept { return backend_; }
 
   /// Current simulated time in cycles.
   [[nodiscard]] Cycles now() const noexcept { return now_; }
 
-  /// Schedule `fn` to run at absolute time `t`. A correct caller never
-  /// passes `t < now()` — a zero-latency round-trip lands exactly on
+  /// Schedule `fn` (any void() callable; captures stay inline in the event
+  /// arena when they fit) to run at absolute time `t`. A correct caller
+  /// never passes `t < now()` — a zero-latency round-trip lands exactly on
   /// `now()`, never before it. A past timestamp is a causality bug in the
   /// scheduling layer: Release builds clamp it to `now()` and count it in
   /// `clamped_events()` (exported as the `sim.clamped_events` metric) so it
   /// is visible instead of silently swallowed; Debug builds assert.
-  void at(Cycles t, std::function<void()> fn);
+  template <class F>
+  void at(Cycles t, F&& fn) {
+    if (t < now_) [[unlikely]] {
+      ++clamped_;
+      assert(!"Engine::at: event scheduled in the past (clamp distance > 0)");
+      t = now_;
+    }
+    const std::uint64_t seq = seq_++;
+    if (backend_ == QueueBackend::kCalendar) {
+      cal_.push(t, seq, arena_.emplace(std::forward<F>(fn)));
+    } else {
+      heap_.push(t, seq, std::function<void()>(std::forward<F>(fn)));
+    }
+  }
 
   /// Schedule `fn` to run `d` cycles from now.
-  void after(Cycles d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+  template <class F>
+  void after(Cycles d, F&& fn) {
+    at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Run until the event queue is empty.
   void run();
@@ -54,9 +82,15 @@ class Engine {
   /// Run at most `max_events` further events (safety valve for tests).
   void run_bounded(std::size_t max_events);
 
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-  [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] bool idle() const noexcept {
+    return backend_ == QueueBackend::kCalendar ? cal_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return backend_ == QueueBackend::kCalendar ? cal_.size() : heap_.size();
+  }
+  [[nodiscard]] std::size_t events_executed() const noexcept {
+    return executed_;
+  }
 
   /// Events whose requested time lay strictly in the past (clamp distance
   /// > 0) and were clamped to `now()`. Nonzero means a layer scheduled
@@ -81,13 +115,16 @@ class Engine {
  private:
   void step();
 
-  HeapEventQueue queue_;
+  CalendarQueue cal_;
+  EventArena arena_;
+  HeapEventQueue heap_;
   Tracer* tracer_ = nullptr;
   check::Checker* checker_ = nullptr;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
   std::uint64_t clamped_ = 0;
+  QueueBackend backend_;
 };
 
 }  // namespace cm::sim

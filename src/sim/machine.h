@@ -3,8 +3,7 @@
 
 #include <coroutine>
 #include <cstddef>
-#include <functional>
-#include <vector>
+#include <utility>
 
 #include "sim/engine.h"
 #include "sim/processor.h"
@@ -15,23 +14,27 @@ namespace cm::sim {
 
 class Machine {
  public:
-  Machine(Engine& engine, ProcId nprocs);
+  Machine(Engine& engine, ProcId nprocs) : engine_(&engine), procs_(nprocs) {}
 
   [[nodiscard]] Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] const Engine& engine() const noexcept { return *engine_; }
-  [[nodiscard]] ProcId size() const noexcept {
-    return static_cast<ProcId>(procs_.size());
+  [[nodiscard]] ProcId size() const noexcept { return procs_.size(); }
+  [[nodiscard]] ProcessorView proc(ProcId p) const {
+    return ProcessorView(procs_, p);
   }
-  [[nodiscard]] Processor& proc(ProcId p) { return procs_.at(p); }
-  [[nodiscard]] const Processor& proc(ProcId p) const { return procs_.at(p); }
 
   /// Run `fn` on processor `p`: the CPU is occupied for `cost` cycles
   /// starting when it is free, and `fn` runs at the completion time.
-  void exec(ProcId p, Cycles cost, std::function<void()> fn);
+  template <class F>
+  void exec(ProcId p, Cycles cost, F&& fn) {
+    engine_->at(procs_.acquire(p, engine_->now(), cost), std::forward<F>(fn));
+  }
 
   /// Resume a suspended coroutine on processor `p`, charging `cost` cycles
   /// of CPU first (e.g. scheduler/dispatch overhead).
-  void resume_on(ProcId p, Cycles cost, std::coroutine_handle<> h);
+  void resume_on(ProcId p, Cycles cost, std::coroutine_handle<> h) {
+    engine_->at(procs_.acquire(p, engine_->now(), cost), [h] { h.resume(); });
+  }
 
   /// Awaitable: occupy processor `p` for `cost` busy cycles.
   [[nodiscard]] auto compute(ProcId p, Cycles cost) {
@@ -49,11 +52,11 @@ class Machine {
   }
 
   /// Sum of busy cycles over all processors.
-  [[nodiscard]] Cycles total_busy() const;
+  [[nodiscard]] Cycles total_busy() const { return procs_.total_busy(); }
 
  private:
   Engine* engine_;
-  std::vector<Processor> procs_;
+  ProcessorFile procs_;
 };
 
 }  // namespace cm::sim

@@ -1,4 +1,4 @@
-// A simulated processor: one CPU executing simulated-thread work FCFS.
+// Simulated processors: CPUs executing simulated-thread work FCFS.
 //
 // We model CPU occupancy with a virtual finish time (`free_at`): a request
 // arriving at `ready` with service demand `cost` begins at
@@ -8,49 +8,104 @@
 // resource-contention model the paper analyses (e.g. the B-tree root
 // bottleneck, where "activations arrive at a rate greater than the rate at
 // which the processor completes each activation").
+//
+// The accounts live in a `ProcessorFile`: one flat array of 32-byte
+// records (no per-processor object header, no id field, two records per
+// cache line), because `acquire` sits on the engine's per-event hot path —
+// every exec/resume/coherence hop charges cycles through it. `ProcessorView`
+// is the read-side handle benches and tests use to inspect one account.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "sim/types.h"
 
 namespace cm::sim {
 
-class Processor {
+/// A flat file of per-processor FCFS accounts, indexed by ProcId.
+class ProcessorFile {
  public:
-  explicit Processor(ProcId id) noexcept : id_(id) {}
+  explicit ProcessorFile(ProcId n) : accounts_(n) {}
 
-  [[nodiscard]] ProcId id() const noexcept { return id_; }
-
-  /// Reserve the CPU for `cost` cycles, earliest at `ready`.
-  /// Returns the completion time.
-  Cycles acquire(Cycles ready, Cycles cost) noexcept {
-    const Cycles start = std::max(ready, free_at_);
-    free_at_ = start + cost;
-    busy_ += cost;
-    queue_delay_ += start - ready;
-    ++requests_;
-    return free_at_;
+  [[nodiscard]] ProcId size() const noexcept {
+    return static_cast<ProcId>(accounts_.size());
   }
 
-  /// First time at which the CPU is idle.
-  [[nodiscard]] Cycles free_at() const noexcept { return free_at_; }
+  /// Reserve CPU `p` for `cost` cycles, earliest at `ready`.
+  /// Returns the completion time.
+  Cycles acquire(ProcId p, Cycles ready, Cycles cost) noexcept {
+    assert(p < accounts_.size());
+    Account& a = accounts_[p];
+    const Cycles start = std::max(ready, a.free_at);
+    a.free_at = start + cost;
+    a.busy += cost;
+    a.queue_delay += start - ready;
+    ++a.requests;
+    return a.free_at;
+  }
 
-  /// Total busy cycles charged so far (cumulative; harnesses snapshot this
-  /// to compute utilisation over a measurement window).
-  [[nodiscard]] Cycles busy_cycles() const noexcept { return busy_; }
+  /// First time at which CPU `p` is idle.
+  [[nodiscard]] Cycles free_at(ProcId p) const noexcept {
+    return accounts_[p].free_at;
+  }
+  /// Total busy cycles charged to `p` so far (cumulative; harnesses
+  /// snapshot this to compute utilisation over a measurement window).
+  [[nodiscard]] Cycles busy_cycles(ProcId p) const noexcept {
+    return accounts_[p].busy;
+  }
+  /// Total cycles requests to `p` spent waiting behind earlier work.
+  [[nodiscard]] Cycles queue_delay_cycles(ProcId p) const noexcept {
+    return accounts_[p].queue_delay;
+  }
+  [[nodiscard]] std::uint64_t requests(ProcId p) const noexcept {
+    return accounts_[p].requests;
+  }
 
-  /// Total cycles requests spent waiting behind earlier work (queueing).
-  [[nodiscard]] Cycles queue_delay_cycles() const noexcept { return queue_delay_; }
-
-  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  /// Sum of busy cycles over all accounts.
+  [[nodiscard]] Cycles total_busy() const noexcept {
+    Cycles sum = 0;
+    for (const Account& a : accounts_) sum += a.busy;
+    return sum;
+  }
 
  private:
+  struct Account {
+    Cycles free_at = 0;
+    Cycles busy = 0;
+    Cycles queue_delay = 0;
+    std::uint64_t requests = 0;
+  };
+  static_assert(sizeof(Account) == 32, "two accounts per cache line");
+
+  std::vector<Account> accounts_;
+};
+
+/// Read-side handle onto one account of a ProcessorFile; what
+/// `Machine::proc(p)` hands out so call sites keep reading naturally
+/// (`machine.proc(p).busy_cycles()`).
+class ProcessorView {
+ public:
+  ProcessorView(const ProcessorFile& file, ProcId id) noexcept
+      : file_(&file), id_(id) {}
+
+  [[nodiscard]] ProcId id() const noexcept { return id_; }
+  [[nodiscard]] Cycles free_at() const noexcept { return file_->free_at(id_); }
+  [[nodiscard]] Cycles busy_cycles() const noexcept {
+    return file_->busy_cycles(id_);
+  }
+  [[nodiscard]] Cycles queue_delay_cycles() const noexcept {
+    return file_->queue_delay_cycles(id_);
+  }
+  [[nodiscard]] std::uint64_t requests() const noexcept {
+    return file_->requests(id_);
+  }
+
+ private:
+  const ProcessorFile* file_;
   ProcId id_;
-  Cycles free_at_ = 0;
-  Cycles busy_ = 0;
-  Cycles queue_delay_ = 0;
-  std::uint64_t requests_ = 0;
 };
 
 }  // namespace cm::sim

@@ -12,34 +12,48 @@ namespace cm::sim {
 namespace {
 
 TEST(Processor, AcquireWhenIdleStartsImmediately) {
-  Processor p(0);
-  EXPECT_EQ(p.acquire(100, 50), 150u);
-  EXPECT_EQ(p.free_at(), 150u);
-  EXPECT_EQ(p.busy_cycles(), 50u);
-  EXPECT_EQ(p.queue_delay_cycles(), 0u);
+  ProcessorFile f(1);
+  EXPECT_EQ(f.acquire(0, 100, 50), 150u);
+  EXPECT_EQ(f.free_at(0), 150u);
+  EXPECT_EQ(f.busy_cycles(0), 50u);
+  EXPECT_EQ(f.queue_delay_cycles(0), 0u);
 }
 
 TEST(Processor, BackToBackRequestsQueueFcfs) {
-  Processor p(0);
-  EXPECT_EQ(p.acquire(0, 100), 100u);
-  EXPECT_EQ(p.acquire(0, 100), 200u);   // waits behind the first
-  EXPECT_EQ(p.acquire(50, 100), 300u);  // still queued
-  EXPECT_EQ(p.busy_cycles(), 300u);
-  EXPECT_EQ(p.queue_delay_cycles(), 100u + 150u);
-  EXPECT_EQ(p.requests(), 3u);
+  ProcessorFile f(1);
+  EXPECT_EQ(f.acquire(0, 0, 100), 100u);
+  EXPECT_EQ(f.acquire(0, 0, 100), 200u);   // waits behind the first
+  EXPECT_EQ(f.acquire(0, 50, 100), 300u);  // still queued
+  EXPECT_EQ(f.busy_cycles(0), 300u);
+  EXPECT_EQ(f.queue_delay_cycles(0), 100u + 150u);
+  EXPECT_EQ(f.requests(0), 3u);
 }
 
 TEST(Processor, GapLeavesCpuIdle) {
-  Processor p(0);
-  EXPECT_EQ(p.acquire(0, 10), 10u);
-  EXPECT_EQ(p.acquire(100, 10), 110u);  // idle 10..100
-  EXPECT_EQ(p.busy_cycles(), 20u);
+  ProcessorFile f(1);
+  EXPECT_EQ(f.acquire(0, 0, 10), 10u);
+  EXPECT_EQ(f.acquire(0, 100, 10), 110u);  // idle 10..100
+  EXPECT_EQ(f.busy_cycles(0), 20u);
 }
 
 TEST(Processor, ZeroCostAcquire) {
-  Processor p(0);
-  EXPECT_EQ(p.acquire(5, 0), 5u);
-  EXPECT_EQ(p.busy_cycles(), 0u);
+  ProcessorFile f(1);
+  EXPECT_EQ(f.acquire(0, 5, 0), 5u);
+  EXPECT_EQ(f.busy_cycles(0), 0u);
+}
+
+TEST(Processor, AccountsAreIndependent) {
+  ProcessorFile f(3);
+  EXPECT_EQ(f.acquire(0, 0, 10), 10u);
+  EXPECT_EQ(f.acquire(2, 0, 30), 30u);
+  EXPECT_EQ(f.acquire(1, 0, 20), 20u);  // no cross-account queueing
+  EXPECT_EQ(f.total_busy(), 60u);
+  EXPECT_EQ(f.free_at(1), 20u);
+  // The view handle reads the same account.
+  const ProcessorView v(f, 2);
+  EXPECT_EQ(v.id(), 2u);
+  EXPECT_EQ(v.busy_cycles(), 30u);
+  EXPECT_EQ(v.requests(), 1u);
 }
 
 TEST(Machine, ExecChargesCpuBeforeRunning) {
@@ -107,11 +121,11 @@ class FcfsProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(FcfsProperty, SerialisesEqualWork) {
   const int n = GetParam();
-  Processor p(0);
+  ProcessorFile f(1);
   for (int i = 1; i <= n; ++i) {
-    EXPECT_EQ(p.acquire(0, 7), static_cast<Cycles>(7 * i));
+    EXPECT_EQ(f.acquire(0, 0, 7), static_cast<Cycles>(7 * i));
   }
-  EXPECT_EQ(p.busy_cycles(), static_cast<Cycles>(7 * n));
+  EXPECT_EQ(f.busy_cycles(0), static_cast<Cycles>(7 * n));
 }
 
 INSTANTIATE_TEST_SUITE_P(Counts, FcfsProperty, ::testing::Values(1, 2, 8, 64, 1000));
