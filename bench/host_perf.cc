@@ -21,15 +21,24 @@
 // number is reported: a backend that got faster by computing something
 // else would fail here, not in CI triage.
 //
-// Usage: host_perf [out.json]   (default BENCH_host_perf.json)
+// The sharded section (fig2_256/*) measures the conservative-parallel
+// engine (DESIGN.md §12) on a 256-requester fig2 workload: events/sec at
+// each shard count plus the kThreads/kSequential parallel speedup at the
+// top count. Only the shards1 record carries the gated "/calendar" suffix;
+// multi-shard rows are reported but never gated (their wall time depends
+// on host core count, which CI does not control).
+//
+// Usage: host_perf [--shards N] [out.json]   (default: 4, BENCH_host_perf.json)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "apps/workload.h"
 #include "core/metrics.h"
 #include "sim/event_queue.h"
+#include "sim/sharded_engine.h"
 
 using cm::apps::BTreeConfig;
 using cm::apps::CountingConfig;
@@ -39,6 +48,7 @@ using cm::core::Mechanism;
 using cm::core::MetricsRegistry;
 using cm::core::Scheme;
 using cm::sim::QueueBackend;
+using cm::sim::ShardBackend;
 
 namespace {
 
@@ -69,9 +79,9 @@ const char* backend_name(QueueBackend b) {
   return b == QueueBackend::kCalendar ? "calendar" : "heap";
 }
 
-void report(MetricsRegistry& reg, const std::string& config, QueueBackend b,
-            const Timed& t) {
-  cm::core::Metrics& m = reg.record(config + "/" + backend_name(b));
+void report_label(MetricsRegistry& reg, const std::string& config,
+                  const char* variant, const Timed& t) {
+  cm::core::Metrics& m = reg.record(config + "/" + variant);
   const double events = static_cast<double>(t.stats.events_executed);
   const double cycles = static_cast<double>(t.stats.completed_at);
   m.put("host.wall_seconds", t.wall_seconds);
@@ -80,9 +90,16 @@ void report(MetricsRegistry& reg, const std::string& config, QueueBackend b,
   m.put("host.repetitions", kReps);
   m.put("sim.events_executed", t.stats.events_executed);
   m.put("sim.completed_at", t.stats.completed_at);
+  m.put("sim.cross_shard_msgs", t.stats.cross_shard_msgs);
+  m.put("sim.window_count", t.stats.window_count);
   std::printf("%-18s %-9s %10.3fs  %12.0f events/s  %12.0f cycles/s\n",
-              config.c_str(), backend_name(b), t.wall_seconds,
+              config.c_str(), variant, t.wall_seconds,
               events / t.wall_seconds, cycles / t.wall_seconds);
+}
+
+void report(MetricsRegistry& reg, const std::string& config, QueueBackend b,
+            const Timed& t) {
+  report_label(reg, config, backend_name(b), t);
 }
 
 // A backend switch must never change simulation results — only how fast
@@ -93,8 +110,15 @@ void check_identical(const char* config, const RunStats& a,
       a.completed_at != b.completed_at || a.ops != b.ops ||
       a.words != b.words) {
     std::fprintf(stderr,
-                 "FATAL: %s simulation diverged across queue backends\n",
-                 config);
+                 "FATAL: %s simulation diverged across queue backends\n"
+                 "  events %llu vs %llu  completed_at %llu vs %llu\n"
+                 "  ops %ld vs %ld  words %llu vs %llu\n",
+                 config, static_cast<unsigned long long>(a.events_executed),
+                 static_cast<unsigned long long>(b.events_executed),
+                 static_cast<unsigned long long>(a.completed_at),
+                 static_cast<unsigned long long>(b.completed_at), a.ops, b.ops,
+                 static_cast<unsigned long long>(a.words),
+                 static_cast<unsigned long long>(b.words));
     std::exit(2);
   }
 }
@@ -119,10 +143,34 @@ BTreeConfig table1_2() {
   return cfg;
 }
 
+// Sharded scaling workload: 4x the requesters of fig2_64 (more independent
+// work per window) on the uniform-latency network — mesh link contention
+// is a global per-link FIFO timeline and is auto-disabled at N>1, so the
+// N=1 reference must drop it too for results to be comparable.
+CountingConfig fig2_256() {
+  CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.mesh = false;
+  cfg.requesters = 256;
+  cfg.think = 0;
+  cfg.window = Window{30'000, 500'000};
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_host_perf.json";
+  unsigned max_shards = 4;
+  std::string out = "BENCH_host_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      max_shards = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (max_shards == 0) max_shards = 1;
+    } else {
+      out = arg;
+    }
+  }
   MetricsRegistry reg;
   std::printf("%-18s %-9s %11s  %21s  %21s\n", "config", "backend", "wall",
               "event rate", "cycle rate");
@@ -159,6 +207,50 @@ int main(int argc, char** argv) {
     report(reg, "table1_2", QueueBackend::kHeap, heap);
     std::printf("%-18s speedup calendar/heap: %.2fx\n", "table1_2",
                 heap.wall_seconds / cal.wall_seconds);
+  }
+
+  {
+    // Sharded engine scaling sweep: kSequential at 1, 2, ..., max_shards
+    // (powers of two), kThreads at the top count. Every run must produce
+    // bit-identical simulation results — that is the engine's determinism
+    // contract, and a shard count that "won" by simulating something else
+    // would be caught here, not in CI triage.
+    Timed ref;
+    Timed top_seq;
+    unsigned top = 1;
+    for (unsigned s = 1; s <= max_shards; s *= 2) {
+      CountingConfig cfg = fig2_256();
+      cfg.nshards = s;
+      cfg.shard_backend = ShardBackend::kSequential;
+      Timed seq = best_of([&] { return run_counting(cfg); });
+      char variant[32];
+      if (s == 1) {
+        // The gated trajectory row: classic single-shard hot path.
+        std::snprintf(variant, sizeof variant, "calendar");
+        ref = seq;
+      } else {
+        std::snprintf(variant, sizeof variant, "seq%u", s);
+        check_identical("fig2_256", ref.stats, seq.stats);
+      }
+      report_label(reg, s == 1 ? "fig2_256/shards1" : "fig2_256", variant,
+                   seq);
+      top = s;
+      top_seq = seq;
+    }
+    if (top > 1) {
+      CountingConfig cfg = fig2_256();
+      cfg.nshards = top;
+      cfg.shard_backend = ShardBackend::kThreads;
+      Timed thr = best_of([&] { return run_counting(cfg); });
+      check_identical("fig2_256", ref.stats, thr.stats);
+      char variant[32];
+      std::snprintf(variant, sizeof variant, "threads%u", top);
+      report_label(reg, "fig2_256", variant, thr);
+      std::printf("%-18s parallel speedup threads%u/seq%u: %.2fx  "
+                  "(vs shards1: %.2fx)\n",
+                  "fig2_256", top, top, top_seq.wall_seconds / thr.wall_seconds,
+                  ref.wall_seconds / thr.wall_seconds);
+    }
   }
 
   if (!reg.write_json(out)) {

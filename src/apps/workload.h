@@ -25,6 +25,7 @@
 #include "loc/locator.h"
 #include "net/faulty_net.h"
 #include "sim/event_queue.h"
+#include "sim/sharded_engine.h"
 #include "sim/types.h"
 
 namespace cm::apps {
@@ -48,6 +49,9 @@ struct RunStats {
   std::uint64_t events_executed = 0;  // engine events the run dispatched
   std::uint64_t clamped_events = 0;   // past-time schedules clamped to now()
                                       // (nonzero = causality bug upstream)
+  std::uint64_t cross_shard_msgs = 0;  // events routed through shard inboxes
+                                       // (0 for classic single-shard runs)
+  std::uint64_t window_count = 0;      // conservative windows executed
 
   // Application-level end state, for chaos invariant checks (identical
   // under any fault plan when requesters do fixed work).
@@ -141,6 +145,20 @@ struct CountingConfig {
   // across backends.
   sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
   ft::FtConfig ft;
+  // Sharded engine (DESIGN.md §12): partition the machine's processors
+  // across `nshards` conservative-parallel shards, each running its own
+  // event loop; kSequential round-robins windows on one host thread (the
+  // conformance reference), kThreads runs one host thread per shard. Same-
+  // seed results are bit-identical across shard counts and backends.
+  // Multi-shard runs are restricted to mechanisms whose cross-processor
+  // interactions all flow through the network (kRpc / kMigration /
+  // kThreadMigration) with no chaos, ft, distributed locator or
+  // replication; a mesh additionally loses link contention (its per-link
+  // FIFO timeline is inherently global). kThreads with nshards == 1 runs
+  // the classic loop on one worker thread (how chaos soaks ride under
+  // TSan) and allows everything.
+  unsigned nshards = 1;
+  sim::ShardBackend shard_backend = sim::ShardBackend::kSequential;
 };
 
 [[nodiscard]] RunStats run_counting(const CountingConfig& cfg);
@@ -168,6 +186,11 @@ struct BTreeConfig {
   check::CheckConfig check_cfg;
   ft::FtConfig ft;  // see CountingConfig
   sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
+  // See CountingConfig. Multi-shard B-tree runs must additionally be
+  // lookup-only (insert_ratio == 0): splits mutate tree topology through
+  // state no single shard owns.
+  unsigned nshards = 1;
+  sim::ShardBackend shard_backend = sim::ShardBackend::kSequential;
 };
 
 [[nodiscard]] RunStats run_btree(const BTreeConfig& cfg);

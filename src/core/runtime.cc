@@ -17,7 +17,7 @@ sim::Task<> Runtime::receive_request(ProcId at, unsigned words,
                  {{"continuation", how == Dispatch::kContinuation}});
     }
   }
-  Breakdown& bd = stats_.breakdown;
+  Breakdown& bd = mutable_stats().breakdown;
   bd.add(Category::kCopyPacket, cost_.copy(words));
   bd.add(Category::kRecvAllocPacket, cost_.alloc_packet_recv());
   bd.add(Category::kForwardingCheck, cost_.forwarding_check);
@@ -35,7 +35,7 @@ sim::Task<> Runtime::receive_request(ProcId at, unsigned words,
 }
 
 sim::Task<> Runtime::receive_reply(ProcId at, unsigned words) {
-  Breakdown& bd = stats_.breakdown;
+  Breakdown& bd = mutable_stats().breakdown;
   bd.add(Category::kCopyPacket, cost_.copy(words));
   bd.add(Category::kUnmarshal, cost_.unmarshal(words));
   bd.add(Category::kScheduler, cost_.scheduler);
@@ -43,7 +43,7 @@ sim::Task<> Runtime::receive_reply(ProcId at, unsigned words) {
 }
 
 sim::Task<> Runtime::send_path(ProcId at, unsigned words) {
-  Breakdown& bd = stats_.breakdown;
+  Breakdown& bd = mutable_stats().breakdown;
   bd.add(Category::kSendLinkage, cost_.send_linkage);
   bd.add(Category::kMarshal, cost_.marshal(words));
   bd.add(Category::kSendAllocPacket, cost_.alloc_packet_send());
@@ -54,7 +54,7 @@ sim::Task<> Runtime::send_path(ProcId at, unsigned words) {
 sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
                                        unsigned budget) {
   const unsigned total = words + cost_.header_words;
-  stats_.breakdown.add(Category::kNetworkTransit,
+  mutable_stats().breakdown.add(Category::kNetworkTransit,
                        network_->latency(src, dst, total));
   if (reliable_ == nullptr) {
     if (ft_ != nullptr && (ft_->suspected(src) || ft_->suspected(dst))) {
@@ -62,8 +62,8 @@ sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
       // touching a suspected NIC would simply never resume its awaiter.
       // Fail fast instead (the reliable path makes the same call inside
       // ReliableTransport::send).
-      ++stats_.delivery_failures;
-      ++stats_.ft_suspect_aborts;
+      ++mutable_stats().delivery_failures;
+      ++mutable_stats().ft_suspect_aborts;
       if (sim::Tracer* tr = tracer()) {
         tr->record(sim::TraceEvent::kFtAbort, src, {{"dst", dst}, {"why", 0}});
       }
@@ -86,15 +86,15 @@ sim::Task<bool> Runtime::transfer_impl(ProcId src, ProcId dst, unsigned words,
 sim::Task<> Runtime::evacuate(Ctx& ctx) {
   const ProcId from = ctx.proc;
   const ProcId to = ft_->evacuation_target(from);
-  ++stats_.ft_evacuations;
+  ++mutable_stats().ft_evacuations;
   if (sim::Tracer* tr = tracer()) {
     tr->record(sim::TraceEvent::kFtEvacuate, from, {{"to", to}});
   }
   // The refuge processor restarts the activation from its coroutine frame
   // (host-side state survives a NIC death): a fresh thread plus a
   // scheduling pass, charged there.
-  stats_.breakdown.add(Category::kThreadCreation, cost_.thread_creation);
-  stats_.breakdown.add(Category::kScheduler, cost_.scheduler);
+  mutable_stats().breakdown.add(Category::kThreadCreation, cost_.thread_creation);
+  mutable_stats().breakdown.add(Category::kScheduler, cost_.scheduler);
   co_await machine_->compute(to, cost_.thread_creation + cost_.scheduler);
   ctx.proc = to;
 }
@@ -115,7 +115,7 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
       ck->on_object_access(ctx.proc, obj, objects_->home_of(obj),
                            /*write=*/false);
     }
-    ++stats_.migrations_local;
+    ++mutable_stats().migrations_local;
     co_return;
   }
 
@@ -138,15 +138,15 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
     // plain RPC at its home — the annotation still changes only
     // performance, never semantics, even on a faulty network. A late copy
     // of the MOVE is discarded at the destination by the reliable layer.
-    ++stats_.migration_fallbacks;
+    ++mutable_stats().migration_fallbacks;
     if (sim::Tracer* tr = tracer()) {
       tr->record(sim::TraceEvent::kMigrateFallback, from,
                  {{"obj", obj}, {"dest", dest}});
     }
     co_return;
   }
-  ++stats_.migrations;
-  stats_.migrated_words += live_words;
+  ++mutable_stats().migrations;
+  mutable_stats().migrated_words += live_words;
   if (locator_ != nullptr) {
     // Chase forwarding pointers if the object moved while the continuation
     // was in flight; the activation lands wherever the object now lives.
@@ -163,7 +163,7 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
   // thread at the source is destroyed (its linkage information travelled
   // with the message), so the eventual return short-circuits.
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
-  ++stats_.threads_created;
+  ++mutable_stats().threads_created;
   if (sim::Tracer* tr = tracer()) {
     tr->record(sim::TraceEvent::kMigrateArrive, dest,
                {{"obj", obj}, {"from", from}, {"words", live_words}});
@@ -176,7 +176,7 @@ sim::Task<> Runtime::migrate(Ctx& ctx, ObjectId obj, unsigned live_words) {
 sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
   if (ft_ != nullptr && ft_->suspected(ctx.proc)) co_await evacuate(ctx);
   if (ctx.proc == origin) co_return;
-  ++stats_.replies;
+  ++mutable_stats().replies;
   if (sim::Tracer* tr = tracer()) {
     tr->record(sim::TraceEvent::kShortCircuitReply, ctx.proc,
                {{"origin", origin}, {"words", ret_words}});
@@ -187,7 +187,7 @@ sim::Task<> Runtime::return_home(Ctx& ctx, ProcId origin, unsigned ret_words) {
     // The short-circuit reply's source NIC died mid-send: the origin
     // reconstructs the result from the activation's frame, exactly as in
     // call()'s reply-recovery path. The effects already committed.
-    ++stats_.ft_recovered_replies;
+    ++mutable_stats().ft_recovered_replies;
     if (sim::Tracer* tr = tracer()) {
       tr->record(sim::TraceEvent::kFtReplyRecovered, origin,
                  {{"from", ctx.proc}});
@@ -214,7 +214,7 @@ sim::Task<> Runtime::migrate_group(const std::vector<Ctx*>& group,
       ck->on_object_access(top.proc, obj, objects_->home_of(obj),
                            /*write=*/false);
     }
-    ++stats_.migrations_local;
+    ++mutable_stats().migrations_local;
     co_return;
   }
 
@@ -236,15 +236,15 @@ sim::Task<> Runtime::migrate_group(const std::vector<Ctx*>& group,
   if (!moved) {
     // Same recovery as single-activation migration: the whole group stays
     // put and later accesses are plain RPCs.
-    ++stats_.migration_fallbacks;
+    ++mutable_stats().migration_fallbacks;
     if (sim::Tracer* tr = tracer()) {
       tr->record(sim::TraceEvent::kMigrateFallback, from,
                  {{"obj", obj}, {"dest", dest}});
     }
     co_return;
   }
-  ++stats_.migrations;
-  stats_.migrated_words += live_words;
+  ++mutable_stats().migrations;
+  mutable_stats().migrated_words += live_words;
   if (locator_ != nullptr) {
     dest = co_await locator_->forward(obj, dest, live_words, from);
     if (check::Checker* ck = checker()) {
@@ -253,7 +253,7 @@ sim::Task<> Runtime::migrate_group(const std::vector<Ctx*>& group,
     }
   }
   co_await receive_request(dest, live_words, Dispatch::kContinuation);
-  ++stats_.threads_created;
+  ++mutable_stats().threads_created;
   if (sim::Tracer* tr = tracer()) {
     tr->record(sim::TraceEvent::kMigrateArrive, dest,
                {{"obj", obj}, {"from", from}, {"words", live_words}});

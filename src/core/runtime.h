@@ -80,14 +80,26 @@ class Runtime {
   Runtime(sim::Machine& machine, net::Network& network, ObjectSpace& objects,
           CostModel cost)
       : machine_(&machine), network_(&network), objects_(&objects),
-        cost_(cost) {}
+        cost_(cost), stats_shards_(machine.engine().shards()) {}
 
   [[nodiscard]] sim::Machine& machine() noexcept { return *machine_; }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
   [[nodiscard]] ObjectSpace& objects() noexcept { return *objects_; }
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
-  [[nodiscard]] const RtStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] RtStats& mutable_stats() noexcept { return stats_; }
+
+  /// Whole-machine runtime counters (all shard slices merged).
+  [[nodiscard]] const RtStats& stats() const noexcept {
+    merged_stats_ = RtStats{};
+    for (const RtStats& s : stats_shards_) merged_stats_.add(s);
+    return merged_stats_;
+  }
+
+  /// The executing shard's slice of the counters: runtime layers increment
+  /// through here so shards never write each other's cache lines (and so
+  /// counts attribute deterministically regardless of shard count).
+  [[nodiscard]] RtStats& mutable_stats() noexcept {
+    return stats_shards_[machine_->engine().current_shard()];
+  }
 
   /// The engine's tracer, or null when tracing is disabled.
   [[nodiscard]] sim::Tracer* tracer() const noexcept {
@@ -101,7 +113,7 @@ class Runtime {
 
   /// Charge cycles on processor `p`, attributed to `cat`.
   [[nodiscard]] auto charge(ProcId p, Cycles cycles, Category cat) {
-    stats_.breakdown.add(cat, cycles);
+    mutable_stats().breakdown.add(cat, cycles);
     return machine_->compute(p, cycles);
   }
 
@@ -117,9 +129,13 @@ class Runtime {
   /// event sequence is bit-identical to the pre-reliability runtime, so
   /// every fault-free figure is unchanged.
   void enable_reliability(ReliableConfig cfg = {}) {
+    // The transport keeps global per-peer sequence state; chaos runs are
+    // restricted to a single shard, whose slice it charges directly.
+    assert(machine_->engine().shards() == 1 &&
+           "reliable transport requires a single-shard engine");
     reliable_cfg_ = cfg;
-    reliable_ = std::make_unique<ReliableTransport>(machine_->engine(),
-                                                    *network_, stats_, cfg);
+    reliable_ = std::make_unique<ReliableTransport>(
+        machine_->engine(), *network_, stats_shards_[0], cfg);
     if (ft_ != nullptr) reliable_->set_fault_tolerance(ft_);
   }
   [[nodiscard]] bool reliability_enabled() const noexcept {
@@ -227,13 +243,13 @@ class Runtime {
           ck->on_object_access(caller.proc, obj, objects_->home_of(obj),
                                /*write=*/true);
         }
-        ++stats_.local_calls;
+        ++mutable_stats().local_calls;
         Ctx callee{this, home};
         co_return co_await body(callee);
       }
 
       // ---- client stub ----
-      ++stats_.remote_calls;
+      ++mutable_stats().remote_calls;
       if (sim::Tracer* tr = tracer()) {
         tr->record(sim::TraceEvent::kRpcIssue, caller.proc,
                    {{"obj", obj}, {"home", home}, {"words", opts.arg_words}});
@@ -248,7 +264,7 @@ class Runtime {
         // before delivery. Wait for the object's recovery to commit, then
         // re-issue the whole call — the body never started, so the retry
         // cannot double-execute anything.
-        ++stats_.ft_call_retries;
+        ++mutable_stats().ft_call_retries;
         if (ft_ == nullptr || attempt + 1 >= ft_->max_call_retries()) {
           throw FtError("call on object " + std::to_string(obj) +
                         " exhausted its retry budget");
@@ -292,9 +308,9 @@ class Runtime {
                                opts.short_method ? Dispatch::kShortMethod
                                                  : Dispatch::kRpcThread);
       if (opts.short_method) {
-        ++stats_.fast_path_calls;
+        ++mutable_stats().fast_path_calls;
       } else {
-        ++stats_.threads_created;
+        ++mutable_stats().threads_created;
       }
 
       Ctx callee{this, home};
@@ -312,7 +328,7 @@ class Runtime {
 
       // ---- reply: sent from wherever the method activation ended up. If
       // it migrated, this short-circuits straight back to the caller. ----
-      ++stats_.replies;
+      ++mutable_stats().replies;
       co_await send_path(callee.proc, opts.ret_words);
       const bool replied =
           co_await transfer(callee.proc, reply_to, opts.ret_words);
@@ -322,7 +338,7 @@ class Runtime {
         // would double-apply those effects; instead the caller waits out
         // the object's recovery and reconstructs the result — exactly-once
         // semantics even across the crash.
-        ++stats_.ft_recovered_replies;
+        ++mutable_stats().ft_recovered_replies;
         if (sim::Tracer* tr = tracer()) {
           tr->record(sim::TraceEvent::kFtReplyRecovered, reply_to,
                      {{"obj", obj}, {"from", callee.proc}});
@@ -369,7 +385,8 @@ class Runtime {
   net::Network* network_;
   ObjectSpace* objects_;
   CostModel cost_;
-  RtStats stats_;
+  std::vector<RtStats> stats_shards_;    // one slice per engine shard
+  mutable RtStats merged_stats_;         // snapshot storage for stats()
   ReliableConfig reliable_cfg_;
   std::unique_ptr<ReliableTransport> reliable_;
   LocationService* locator_ = nullptr;   // null = oracle mode

@@ -13,7 +13,7 @@ void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     engine_->after(0, std::move(deliver));
     return;
   }
-  stats_.record(kind, words);
+  slot(engine_->current_shard()).record(kind, words);
   if (sim::Tracer* tr = engine_->tracer()) {
     const std::uint64_t id = tr->next_msg_id();
     tr->record(sim::TraceEvent::kMsgSend, src,
@@ -36,7 +36,10 @@ void ConstantNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
       d();
     };
   }
-  engine_->after(latency(src, dst, words), std::move(deliver));
+  // Deliveries are homed at the destination, which is also the cross-shard
+  // hop: the latency here is >= min_cross_latency(), the sharded run's
+  // window lookahead, so the event always lands beyond the current window.
+  engine_->after_on(dst, latency(src, dst, words), std::move(deliver));
 }
 
 sim::Cycles ConstantNetwork::latency(sim::ProcId src, sim::ProcId dst,

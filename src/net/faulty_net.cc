@@ -31,7 +31,7 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
   sim::Tracer* tr = engine_->tracer();
   // A fail-stopped NIC eats the message before it reaches the wire.
   if (nic_dead(src) || nic_dead(dst)) {
-    ++stats_.faults_nic_dropped;
+    ++faults_.faults_nic_dropped;
     if (tr) {
       tr->record(sim::TraceEvent::kFaultNicDrop, src,
                  {{"dst", dst}, {"words", words}});
@@ -44,7 +44,7 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
   }
   const FaultRates& r = rates_for(src, dst);
   if (r.drop > 0.0 && rng_.chance(r.drop)) {
-    ++stats_.faults_dropped;
+    ++faults_.faults_dropped;
     if (tr) {
       tr->record(sim::TraceEvent::kFaultDrop, src,
                  {{"dst", dst}, {"words", words}});
@@ -55,7 +55,7 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
   if (r.duplicate > 0.0 && rng_.chance(r.duplicate)) {
     // The clone crosses the wire as a real (later) message with its own
     // copy of the delivery callback; receivers must dedup.
-    ++stats_.faults_duplicated;
+    ++faults_.faults_duplicated;
     const sim::Cycles extra = 1 + rng_.below(span);
     if (tr) {
       tr->record(sim::TraceEvent::kFaultDuplicate, src,
@@ -70,7 +70,7 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
     // Holding the message back reorders it w.r.t. anything sent on the link
     // in the meantime (the inner network has no ordering guarantee across
     // injection times).
-    ++stats_.faults_delayed;
+    ++faults_.faults_delayed;
     const sim::Cycles extra = 1 + rng_.below(span);
     if (tr) {
       tr->record(sim::TraceEvent::kFaultDelay, src,
@@ -88,10 +88,10 @@ void FaultyNetwork::send(sim::ProcId src, sim::ProcId dst, unsigned words,
 
 const NetStats& FaultyNetwork::stats() const noexcept {
   merged_ = inner_->stats();
-  merged_.faults_dropped = stats_.faults_dropped;
-  merged_.faults_duplicated = stats_.faults_duplicated;
-  merged_.faults_delayed = stats_.faults_delayed;
-  merged_.faults_nic_dropped = stats_.faults_nic_dropped;
+  merged_.faults_dropped = faults_.faults_dropped;
+  merged_.faults_duplicated = faults_.faults_duplicated;
+  merged_.faults_delayed = faults_.faults_delayed;
+  merged_.faults_nic_dropped = faults_.faults_nic_dropped;
   return merged_;
 }
 

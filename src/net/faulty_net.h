@@ -83,6 +83,11 @@ class FaultyNetwork final : public Network {
     return inner_->latency(src, dst, words);
   }
 
+  /// Faults only ever add delay (or erase the message), never shorten it.
+  [[nodiscard]] sim::Cycles min_cross_latency() const override {
+    return inner_->min_cross_latency();
+  }
+
   /// The wrapped network's traffic counters with this layer's fault
   /// counters merged in.
   [[nodiscard]] const NetStats& stats() const noexcept override;
@@ -99,6 +104,7 @@ class FaultyNetwork final : public Network {
   Network* inner_;
   FaultPlan plan_;
   sim::Rng rng_;
+  NetStats faults_;          // only the faults_* counters are ever touched
   mutable NetStats merged_;  // snapshot storage for stats()
 };
 

@@ -37,6 +37,15 @@ class MeshNetwork final : public Network {
   [[nodiscard]] sim::Cycles latency(sim::ProcId src, sim::ProcId dst,
                                     unsigned words) const override;
 
+  /// One hop is the cheapest cross-processor trip — the sharded lookahead.
+  /// Valid only without contention modelling (which is why contention is
+  /// restricted to single-shard runs: queueing delays have no lower bound
+  /// a conservative window could rely on... they only ever add latency,
+  /// but the per-link FIFO state itself is global and order-sensitive).
+  [[nodiscard]] sim::Cycles min_cross_latency() const override {
+    return cfg_.launch + cfg_.per_hop;
+  }
+
   /// Manhattan distance between two nodes under X-then-Y routing.
   [[nodiscard]] unsigned hops(sim::ProcId src, sim::ProcId dst) const;
 
@@ -47,9 +56,12 @@ class MeshNetwork final : public Network {
   [[nodiscard]] unsigned height() const noexcept { return height_; }
 
  private:
+  // Occupancy is contention-only state; contention (and therefore free_at)
+  // is restricted to single-shard runs. Per-link word counters are kept in
+  // per-shard slabs (link_words_) so sends on different shards never touch
+  // the same cache line.
   struct Link {
     sim::Cycles free_at = 0;
-    std::uint64_t words = 0;
   };
 
   // Links are indexed by (node, direction): 0=+x, 1=-x, 2=+y, 3=-y.
@@ -70,6 +82,8 @@ class MeshNetwork final : public Network {
   MeshConfig cfg_;
   unsigned height_;
   std::vector<Link> links_;
+  // Per-shard word counters: shard s owns [s * links_.size(), (s+1) * ...).
+  std::vector<std::uint64_t> link_words_;
 };
 
 }  // namespace cm::net

@@ -41,17 +41,20 @@ namespace cm::sim {
 /// baseline and conformance reference.
 enum class QueueBackend : std::uint8_t { kCalendar, kHeap };
 
-/// A scheduled closure with its (time, insertion-sequence) ordering key.
+/// A scheduled closure with its (time, label) ordering key and the simulated
+/// processor the event is homed at (kNoProc-as-uint32 for setup events).
 struct HeapEvent {
   Cycles t;
   std::uint64_t seq;
+  std::uint32_t home;
   std::function<void()> fn;
 };
 
 class HeapEventQueue {
  public:
-  void push(Cycles t, std::uint64_t seq, std::function<void()> fn) {
-    heap_.push_back(HeapEvent{t, seq, std::move(fn)});
+  void push(Cycles t, std::uint64_t seq, std::uint32_t home,
+            std::function<void()> fn) {
+    heap_.push_back(HeapEvent{t, seq, home, std::move(fn)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
@@ -205,12 +208,16 @@ class EventArena {
 };
 
 /// Ordering key for an arena-resident event: 24 bytes of POD, cheap to
-/// shuffle during sorts while the callback stays put in its slab slot.
+/// shuffle during sorts while the callback stays put in its slab slot. The
+/// `home` field (the simulated processor the event is homed at) rides in
+/// what used to be padding, so the key stays 24 bytes.
 struct EventKey {
   Cycles t;
   std::uint64_t seq;
   std::uint32_t idx;
+  std::uint32_t home;
 };
+static_assert(sizeof(EventKey) == 24, "home must fit in the old padding");
 
 /// Two-level calendar/ladder queue specialised for a discrete-event engine
 /// whose timestamps are near-monotone (events are overwhelmingly scheduled
@@ -234,16 +241,17 @@ struct EventKey {
 /// backend produces, so same-seed runs are bit-identical across backends.
 class CalendarQueue {
  public:
-  void push(Cycles t, std::uint64_t seq, std::uint32_t idx) {
+  void push(Cycles t, std::uint64_t seq, std::uint32_t idx,
+            std::uint32_t home) {
     ++size_;
     if (t <= horizon_) {
-      const EventKey k{t, seq, idx};
+      const EventKey k{t, seq, idx, home};
       near_.insert(std::upper_bound(near_.begin(), near_.end(), k, Greater{}),
                    k);
     } else {
       if (t < far_min_) far_min_ = t;
       if (t > far_max_) far_max_ = t;
-      far_.push_back(EventKey{t, seq, idx});
+      far_.push_back(EventKey{t, seq, idx, home});
     }
   }
 

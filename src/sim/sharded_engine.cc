@@ -1,0 +1,98 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <thread>
+
+namespace cm::sim {
+
+ShardedEngine::ShardedEngine(Engine& engine, ShardOptions opts)
+    : engine_(&engine), opts_(opts) {
+  const unsigned n = engine.shards();
+  assert((n == 1 || opts_.lookahead >= 1) &&
+         "multi-shard runs need a positive conservative lookahead");
+  rngs_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
+    // Golden-ratio stride decorrelates the streams even for adjacent root
+    // seeds; Rng's own SplitMix64 seeding spreads each over full state.
+    rngs_.emplace_back(opts_.seed + 0x9e3779b97f4a7c15ULL * (s + 1));
+  }
+}
+
+bool ShardedEngine::open_window() {
+  engine_->drain_inboxes();
+  Cycles v = Engine::kNever;
+  for (unsigned s = 0; s < engine_->shards(); ++s) {
+    v = std::min(v, engine_->shard_next_time(s));
+  }
+  if (v == Engine::kNever) return false;
+  window_end_ = v >= Engine::kNever - opts_.lookahead ? Engine::kNever
+                                                      : v + opts_.lookahead;
+  engine_->set_window_end(window_end_);
+  return true;
+}
+
+void ShardedEngine::run() {
+  const unsigned n = engine_->shards();
+  if (n == 1) {
+    // A single shard needs no windows: both backends are the classic drain
+    // loop (bit-identical to the pre-shard engine); kThreads merely hosts
+    // it on a worker thread, which is how the chaos soaks exercise the
+    // threaded plumbing under TSan.
+    if (opts_.backend == ShardBackend::kSequential) {
+      engine_->run();
+    } else {
+      std::thread worker([this] { engine_->run(); });
+      worker.join();
+    }
+    return;
+  }
+  engine_->begin_sharded_run(opts_.backend == ShardBackend::kThreads);
+  done_ = false;
+  if (opts_.backend == ShardBackend::kSequential) {
+    run_sequential();
+  } else {
+    run_threads();
+  }
+  engine_->set_window_end(Engine::kNever);
+  engine_->end_sharded_run();
+}
+
+void ShardedEngine::run_sequential() {
+  const unsigned n = engine_->shards();
+  while (open_window()) {
+    for (unsigned s = 0; s < n; ++s) {
+      engine_->run_shard_window(s, window_end_);
+    }
+    engine_->bump_window();
+  }
+}
+
+void ShardedEngine::run_threads() {
+  const unsigned n = engine_->shards();
+  bool first = true;
+  // The completion step is the serial phase: it runs on exactly one thread
+  // while every worker is parked in the barrier, and the phase completion
+  // strongly happens-before their release — so done_/window_end_ need no
+  // atomics and the inbox merge sees all of the windows' sends.
+  std::barrier bar(n, [this, &first]() noexcept {
+    if (!first) engine_->bump_window();
+    first = false;
+    if (!open_window()) done_ = true;
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
+    workers.emplace_back([this, s, &bar] {
+      for (;;) {
+        bar.arrive_and_wait();
+        if (done_) return;
+        engine_->run_shard_window(s, window_end_);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace cm::sim

@@ -1,0 +1,85 @@
+// Conservative parallel DES driver over the sharded Engine (DESIGN.md §12).
+//
+// The engine partitions simulated processors into shards, each with its own
+// event queue and local clock; this driver advances them in conservative
+// windows. With `L` = the installed network's minimum cross-shard latency
+// (the lookahead), every cross-shard event created at time `c` lands at
+// `t >= c + L`, so the window `[V, V + L)` — where `V` is the global minimum
+// pending timestamp — can run barrier-free on every shard: no event that
+// another shard might still create can fall inside it. At each window
+// boundary the shards' mutex-protected inboxes are merged into the queues;
+// (t, label) keys are unique and deterministic, so merge order does not
+// depend on host-thread timing.
+//
+// Two backends behind the same interface:
+//  * kSequential — round-robin windows on one host thread. The conformance
+//    reference: at one shard it degenerates to the classic `Engine::run()`
+//    and is bit-identical to the pre-shard engine.
+//  * kThreads — one host thread per shard, window barriers via
+//    std::barrier; the barrier's completion step is the serial phase
+//    (inbox drain, next-window computation, checker replay hook).
+//
+// Both backends produce bit-identical output for a fixed seed and shard
+// count, and shard counts only change the two `sim.cross_shard_msgs` /
+// `sim.window_count` counters — never simulation results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace cm::sim {
+
+/// How a sharded run maps shards onto host threads.
+enum class ShardBackend : std::uint8_t { kSequential, kThreads };
+
+struct ShardOptions {
+  ShardBackend backend = ShardBackend::kSequential;
+  /// Conservative lookahead in cycles: the minimum latency of any
+  /// cross-shard interaction (net::Network::min_cross_latency() of the
+  /// installed network). Must be >= 1 when the engine has > 1 shard.
+  Cycles lookahead = 0;
+  /// Root seed the per-shard Rng streams are split from.
+  std::uint64_t seed = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// The engine must already be shard-configured (Engine::configure_shards)
+  /// and not yet running.
+  ShardedEngine(Engine& engine, ShardOptions opts);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Drain every shard's queue to completion.
+  void run();
+
+  /// A per-shard random stream, split from ShardOptions::seed with
+  /// SplitMix-style hashing so streams are decorrelated. Draw order within
+  /// a stream is shard-local: a shard's draws do not depend on how events
+  /// interleave on other shards, which keeps seeded randomness
+  /// shard-count-invariant for shard-homed consumers.
+  [[nodiscard]] Rng& shard_rng(unsigned s) { return rngs_[s]; }
+
+  [[nodiscard]] const ShardOptions& options() const noexcept { return opts_; }
+
+ private:
+  void run_sequential();
+  void run_threads();
+
+  /// Serial phase between windows: merge inboxes, compute the next window
+  /// `[V, V + lookahead)`, or detect completion. Returns false when every
+  /// queue is empty.
+  bool open_window();
+
+  Engine* engine_;
+  ShardOptions opts_;
+  std::vector<Rng> rngs_;
+  Cycles window_end_ = Engine::kNever;
+  bool done_ = false;
+};
+
+}  // namespace cm::sim

@@ -10,6 +10,15 @@
 // (Engine::tracer() == nullptr, the default) every instrumentation site is
 // a single pointer test and all outputs are bit-identical to a build that
 // never heard of tracing.
+//
+// Sharded runs (DESIGN.md §12): each shard appends to its own record
+// buffer, so concurrent kThreads workers never share a cache line, and
+// `chrome_json()` merges the buffers by (cycle, event label) — the same
+// deterministic order the sharded engine itself guarantees — so the JSON
+// is byte-identical for every shard count and backend at the same seed.
+// Msg ids come from per-lane counters keyed on the *sending* context's
+// lane, making them a pure function of causal history (shard-count
+// invariant); a single-lane program sees the legacy sequence 1, 2, 3, ...
 #pragma once
 
 #include <array>
@@ -175,26 +184,44 @@ struct TraceArg {
 
 class Tracer {
  public:
-  /// Events are timestamped with `engine.now()` at record time.
-  explicit Tracer(Engine& engine) : engine_(&engine) {}
+  /// Events are timestamped with `engine.now()` at record time. Construct
+  /// after `Engine::configure_shards` (the workload layer does) so the
+  /// per-shard buffers and per-lane msg-id counters are pre-sized; an
+  /// unconfigured engine gets one shard / one lane and grows lazily.
+  explicit Tracer(Engine& engine)
+      : engine_(&engine),
+        shards_(engine.shards()),
+        msg_cnt_(engine.configured_lanes()) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   /// Record `ev` on processor `track` at the current cycle, with up to
-  /// `kMaxArgs` annotations.
+  /// `kMaxArgs` annotations. Appends to the calling shard's buffer.
   void record(TraceEvent ev, ProcId track,
               std::initializer_list<TraceArg> args = {});
 
-  /// Fresh id linking a msg.send to its msg.deliver.
-  [[nodiscard]] std::uint64_t next_msg_id() noexcept { return ++msg_ids_; }
+  /// Fresh id linking a msg.send to its msg.deliver:
+  /// (sender lane << 40) | per-lane count, shard-count invariant.
+  [[nodiscard]] std::uint64_t next_msg_id();
 
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  /// Total records across all shard buffers.
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const ShardBuf& sb : shards_) n += sb.records.size();
+    return n;
+  }
   [[nodiscard]] std::uint64_t count(TraceEvent ev) const noexcept {
-    return counts_[static_cast<unsigned>(ev)];
+    std::uint64_t n = 0;
+    for (const ShardBuf& sb : shards_) {
+      n += sb.counts[static_cast<unsigned>(ev)];
+    }
+    return n;
   }
 
   /// The whole trace as a Chrome trace-event JSON object
-  /// ({"traceEvents": [...]}) with per-processor thread tracks.
+  /// ({"traceEvents": [...]}) with per-processor thread tracks. Shard
+  /// buffers are merged by (cycle, label), so the bytes are identical for
+  /// every shard count at the same seed.
   [[nodiscard]] std::string chrome_json() const;
 
   /// Write `chrome_json()` to `path`; false on I/O failure.
@@ -205,18 +232,24 @@ class Tracer {
  private:
   struct Record {
     Cycles t;
+    std::uint64_t label;  // of the emitting event; the cross-shard merge key
     TraceEvent ev;
     ProcId track;
     std::uint8_t nargs;
     std::array<TraceArg, kMaxArgs> args;
   };
 
+  /// One shard's private trace state; shards never share one.
+  struct ShardBuf {
+    std::vector<Record> records;
+    std::array<std::uint64_t, static_cast<unsigned>(TraceEvent::kCount)>
+        counts{};
+    ProcId max_track = 0;
+  };
+
   Engine* engine_;
-  std::vector<Record> records_;
-  std::array<std::uint64_t, static_cast<unsigned>(TraceEvent::kCount)>
-      counts_{};
-  std::uint64_t msg_ids_ = 0;
-  ProcId max_track_ = 0;
+  std::vector<ShardBuf> shards_;
+  std::vector<std::uint64_t> msg_cnt_;  // per-lane msg-id counters
 };
 
 }  // namespace cm::sim

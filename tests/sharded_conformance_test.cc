@@ -1,0 +1,273 @@
+// Sharded-engine conformance (DESIGN.md §12): the one contract everything
+// else leans on is that shard count and shard backend are *pure host-side
+// knobs* — same-seed runs produce bit-identical simulation results at every
+// shard count and on both backends. These tests pin that contract over the
+// paper's two workloads with every observer installed:
+//
+//  * run-level results (ops, traffic, completion time, app end state) and
+//    the full exported metrics record match across shards {1, 2, 4};
+//  * the Chrome trace JSON is byte-identical across shard counts — the
+//    tracer's per-shard buffers merge back into the global (t, label) order;
+//  * the checker's report JSON is byte-identical across shard counts — the
+//    deferred-replay path sees hooks in the same order the classic engine
+//    fired them in;
+//  * kThreads == kSequential at the same shard count, including at
+//    nshards == 1 under chaos (how the fault stack rides under TSan).
+//
+// Only sim.cross_shard_msgs and sim.window_count legitimately vary with the
+// shard count, so the cross-N metrics comparison scrubs those two keys.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+#include "check/report.h"
+#include "core/metrics.h"
+
+namespace cm::apps {
+namespace {
+
+using core::Mechanism;
+using core::Scheme;
+using sim::ShardBackend;
+
+CountingConfig counting_cfg() {
+  CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.mesh = false;  // mesh link contention is global state, single-shard only
+  cfg.requesters = 32;
+  cfg.think = 0;
+  cfg.window = Window{10'000, 60'000};
+  cfg.check = true;
+  return cfg;
+}
+
+BTreeConfig btree_cfg() {
+  BTreeConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kRpc, false, false};
+  cfg.mesh = false;
+  cfg.requesters = 16;
+  cfg.nkeys = 2000;
+  cfg.max_entries = 20;
+  cfg.insert_ratio = 0.0;  // multi-shard B-tree runs are lookup-only
+  cfg.ops_per_requester = 40;
+  cfg.check = true;
+  return cfg;
+}
+
+std::string metrics_json(const RunStats& r) {
+  core::Metrics m;
+  put_run_stats(m, r);
+  std::string out;
+  m.append_json_fields(out);
+  return out;
+}
+
+// Drop keys that legitimately differ between the compared runs from an
+// exported metrics record, leaving everything else for a byte comparison:
+// the two shard-count-dependent counters and the per-run trace file path.
+std::string scrub(std::string json, std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    const std::size_t at = json.find(key);
+    if (at == std::string::npos) continue;
+    std::size_t val = at + std::string(key).size();
+    while (val < json.size() && json[val] == ' ') ++val;
+    if (val < json.size() && json[val] == '"') {  // string value
+      val = json.find('"', val + 1);
+    }
+    std::size_t end = json.find(',', val);
+    end = end == std::string::npos ? json.size() : end + 2;  // ", "
+    json.erase(at, end - at);
+  }
+  return json;
+}
+
+std::string scrub_trace_path(std::string json) {
+  return scrub(std::move(json), {"\"trace\":"});
+}
+
+std::string scrub_shard_counters(std::string json) {
+  return scrub(std::move(json), {"\"sim.cross_shard_msgs\":",
+                                 "\"sim.window_count\":", "\"trace\":"});
+}
+
+std::string report_of(const RunStats& r) {
+  return check::check_report_json(r.check, r.check_violations);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "cannot read " << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string trace_path_for(const char* stem, unsigned shards, bool threads) {
+  return testing::TempDir() + stem + "_s" + std::to_string(shards) +
+         (threads ? "_thr" : "_seq") + ".json";
+}
+
+// ---------------------------------------------------------------------------
+// Shard count is invisible: counting network, shards in {1, 2, 4}
+// ---------------------------------------------------------------------------
+
+TEST(ShardedConformance, CountingRunIsIdenticalAcrossShardCounts) {
+  std::vector<RunStats> runs;
+  for (unsigned s : {1u, 2u, 4u}) {
+    CountingConfig cfg = counting_cfg();
+    cfg.nshards = s;
+    cfg.trace_path = trace_path_for("shard_counting", s, false);
+    runs.push_back(run_counting(cfg));
+  }
+  const RunStats& ref = runs[0];
+  EXPECT_EQ(ref.check.total_violations, 0u);
+  EXPECT_GT(ref.check.delivers, 0u);  // the checker really ran
+  EXPECT_GT(ref.ops, 0);
+  const std::string ref_metrics = scrub_shard_counters(metrics_json(ref));
+  const std::string ref_report = report_of(ref);
+  const std::string ref_trace = slurp(ref.trace_path);
+  EXPECT_FALSE(ref_trace.empty());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const RunStats& r = runs[i];
+    EXPECT_EQ(r.ops, ref.ops);
+    EXPECT_EQ(r.words, ref.words);
+    EXPECT_EQ(r.messages, ref.messages);
+    EXPECT_EQ(r.completed_at, ref.completed_at);
+    EXPECT_EQ(r.events_executed, ref.events_executed);
+    EXPECT_EQ(r.total_exited, ref.total_exited);
+    EXPECT_EQ(r.step_property, ref.step_property);
+    EXPECT_GT(r.cross_shard_msgs, 0u);  // shards really talked
+    EXPECT_GT(r.window_count, 0u);      // windows really turned
+    EXPECT_EQ(scrub_shard_counters(metrics_json(r)), ref_metrics);
+    EXPECT_EQ(report_of(r), ref_report);
+    EXPECT_EQ(slurp(r.trace_path), ref_trace);
+  }
+}
+
+TEST(ShardedConformance, BTreeLookupRunIsIdenticalAcrossShardCounts) {
+  std::vector<RunStats> runs;
+  for (unsigned s : {1u, 2u, 4u}) {
+    BTreeConfig cfg = btree_cfg();
+    cfg.nshards = s;
+    cfg.trace_path = trace_path_for("shard_btree", s, false);
+    runs.push_back(run_btree(cfg));
+  }
+  const RunStats& ref = runs[0];
+  EXPECT_EQ(ref.check.total_violations, 0u);
+  EXPECT_GT(ref.check.calls, 0u);
+  EXPECT_TRUE(ref.invariants_ok);
+  const std::string ref_metrics = scrub_shard_counters(metrics_json(ref));
+  const std::string ref_report = report_of(ref);
+  const std::string ref_trace = slurp(ref.trace_path);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const RunStats& r = runs[i];
+    EXPECT_EQ(r.btree_digest, ref.btree_digest);
+    EXPECT_EQ(r.btree_keys, ref.btree_keys);
+    EXPECT_EQ(r.completed_at, ref.completed_at);
+    EXPECT_EQ(r.events_executed, ref.events_executed);
+    EXPECT_EQ(scrub_shard_counters(metrics_json(r)), ref_metrics);
+    EXPECT_EQ(report_of(r), ref_report);
+    EXPECT_EQ(slurp(r.trace_path), ref_trace);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend is invisible: kThreads == kSequential, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST(ShardedConformance, ThreadsBackendMatchesSequentialAt4Shards) {
+  RunStats seq;
+  RunStats thr;
+  {
+    CountingConfig cfg = counting_cfg();
+    cfg.nshards = 4;
+    cfg.shard_backend = ShardBackend::kSequential;
+    cfg.trace_path = trace_path_for("shard_backend", 4, false);
+    seq = run_counting(cfg);
+    cfg.shard_backend = ShardBackend::kThreads;
+    cfg.trace_path = trace_path_for("shard_backend", 4, true);
+    thr = run_counting(cfg);
+  }
+  // Same shard count on both sides: the full metrics record must match,
+  // cross-shard counters included (only the trace path differs by design).
+  EXPECT_EQ(scrub_trace_path(metrics_json(thr)),
+            scrub_trace_path(metrics_json(seq)));
+  EXPECT_EQ(report_of(thr), report_of(seq));
+  EXPECT_EQ(slurp(thr.trace_path), slurp(seq.trace_path));
+  EXPECT_EQ(thr.check.total_violations, 0u);
+}
+
+TEST(ShardedConformance, ThreadsBackendMatchesSequentialForBTree) {
+  BTreeConfig cfg = btree_cfg();
+  cfg.nshards = 4;
+  cfg.shard_backend = ShardBackend::kSequential;
+  const RunStats seq = run_btree(cfg);
+  cfg.shard_backend = ShardBackend::kThreads;
+  const RunStats thr = run_btree(cfg);
+  EXPECT_EQ(metrics_json(thr), metrics_json(seq));
+  EXPECT_EQ(report_of(thr), report_of(seq));
+  EXPECT_EQ(thr.btree_digest, seq.btree_digest);
+}
+
+// ---------------------------------------------------------------------------
+// kThreads at nshards == 1 runs the classic loop on a worker thread and so
+// admits every feature — this is how the chaos stack rides under TSan.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedConformance, ChaosSoakOnThreadsBackendMatchesClassic) {
+  CountingConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kMigration, false, false};
+  cfg.requesters = 16;
+  cfg.ops_per_requester = 25;
+  cfg.faults.rates.drop = 0.05;
+  cfg.faults.rates.duplicate = 0.025;
+  cfg.faults.rates.delay = 0.05;
+  cfg.faults.seed = 0xc4a05;
+  cfg.check = true;
+  const RunStats classic = run_counting(cfg);
+  cfg.shard_backend = ShardBackend::kThreads;  // nshards stays 1
+  const RunStats threaded = run_counting(cfg);
+
+  EXPECT_GT(classic.net.faults_dropped, 0u);  // faults really fired
+  EXPECT_EQ(metrics_json(threaded), metrics_json(classic));
+  EXPECT_EQ(report_of(threaded), report_of(classic));
+  EXPECT_EQ(threaded.window_count, 0u);  // classic loop, no windows
+  EXPECT_EQ(threaded.check.total_violations, 0u);
+}
+
+TEST(ShardedConformance, LocatorChaosSoakOnThreadsBackendMatchesClassic) {
+  // The deepest single-shard stack — distributed locator, message loss,
+  // retransmission, checker — on the worker thread. This is the TSan job's
+  // widest net: every layer's state is exercised under the thread the
+  // sanitizer watches.
+  BTreeConfig cfg;
+  cfg.scheme = Scheme{Mechanism::kRpc, false, false};
+  cfg.requesters = 8;
+  cfg.nkeys = 1000;
+  cfg.max_entries = 20;
+  cfg.ops_per_requester = 25;
+  cfg.locator.mode = loc::Locality::kDistributed;
+  cfg.faults.rates.drop = 0.05;
+  cfg.faults.rates.delay = 0.05;
+  cfg.faults.seed = 0xc4a05;
+  cfg.check = true;
+  const RunStats classic = run_btree(cfg);
+  cfg.shard_backend = ShardBackend::kThreads;  // nshards stays 1
+  const RunStats threaded = run_btree(cfg);
+
+  EXPECT_GT(classic.loc.dir_queries, 0u);
+  EXPECT_GT(classic.runtime.retransmits, 0u);
+  EXPECT_EQ(metrics_json(threaded), metrics_json(classic));
+  EXPECT_EQ(report_of(threaded), report_of(classic));
+  EXPECT_EQ(threaded.check.total_violations, 0u);
+}
+
+}  // namespace
+}  // namespace cm::apps

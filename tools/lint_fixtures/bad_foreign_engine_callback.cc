@@ -1,0 +1,30 @@
+// coro_lint fixture: event callbacks that touch an Engine other than the
+// one they are scheduled on. NOT compiled — pattern food for the
+// --self-test. Under the kThreads backend the callback body runs on the
+// host thread of the shard owning its home processor; poking a different
+// engine from there bypasses the inbox/window machinery.
+#include <cstdint>
+
+namespace fixture {
+
+struct Engine {
+  void at(std::uint64_t, void (*)());
+  template <class F>
+  void at(std::uint64_t, F&&);
+  template <class F>
+  void at_on(unsigned, std::uint64_t, F&&);
+};
+
+void bad_schedules_into_other_engine(Engine& eng, Engine& replica) {
+  eng.at(100, [&replica] {  // EXPECT-LINT: CL003
+    replica.at(200, [] {});
+  });
+}
+
+void bad_homed_callback_reads_other_engine(Engine& primary, Engine& shadow) {
+  primary.at_on(3, 500, [&] {  // EXPECT-LINT: CL003
+    shadow.at_on(3, 600, [] {});
+  });
+}
+
+}  // namespace fixture
