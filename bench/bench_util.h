@@ -37,4 +37,24 @@ inline bool take_flag(int& argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Remove one `flag <value>` pair from argv and copy the value out.
+/// Returns false (argv untouched) when the flag is absent; exits with a
+/// message when the flag is last, with no value after it. Call in a loop
+/// to collect repeatable flags like `--tune key=value`.
+inline bool take_value(int& argc, char** argv, const char* flag, char* out,
+                       std::size_t out_size) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+      std::exit(1);
+    }
+    std::snprintf(out, out_size, "%s", argv[i + 1]);
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace cm::bench

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "policy/policy.h"
+
 namespace cm::apps {
 
 using core::Ctx;
@@ -63,7 +65,25 @@ std::uint32_t DistributedBTree::alloc_node(bool leaf, unsigned level) {
     n.sm_lock = std::make_unique<shmem::SpinLock>(*mem_, home);
   }
   nodes_.push_back(std::move(n));
+  Node& placed = nodes_.back();
+  // Split-born nodes join the policy's managed set as they appear (ignored
+  // mid-run on multi-shard engines; see PolicyEngine::manage).
+  if (policy_ != nullptr) {
+    policy_->manage(placed.oid, placed.mobile.get(), 2 + 3 * p_.max_entries,
+                    /*replicable=*/!placed.leaf);
+  }
   return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void DistributedBTree::set_policy(policy::PolicyEngine* pol) {
+  policy_ = pol;
+  if (pol == nullptr) return;
+  // Internal nodes are read-mostly routers and may be flipped into
+  // replication mode; leaves take the entry writes and only ever move.
+  for (const Node& n : nodes_) {
+    pol->manage(n.oid, n.mobile.get(), 2 + 3 * p_.max_entries,
+                /*replicable=*/!n.leaf);
+  }
 }
 
 void DistributedBTree::bulk_load(const std::vector<std::uint64_t>& keys) {
@@ -315,6 +335,7 @@ sim::Task<> DistributedBTree::approach(Ctx& ctx, Mechanism mech,
 
 sim::Task<DistributedBTree::Step> DistributedBTree::visit_node(
     Ctx& ctx, Mechanism mech, std::uint32_t nid, std::uint64_t key) {
+  const ProcId requester = ctx.proc;
   if (sim::Tracer* tr = rt_->tracer()) {
     tr->record(sim::TraceEvent::kBTreeNodeVisit, ctx.proc,
                {{"node", nid}, {"level", nodes_[nid].level}});
@@ -323,12 +344,31 @@ sim::Task<DistributedBTree::Step> DistributedBTree::visit_node(
     co_await charge_search(ctx, mech, nid, /*optimistic=*/true);
     co_return search_step(nodes_[nid], key);
   }
+  if (policy_ != nullptr) {
+    // Phase-flipped node: read it from the local replica instead of the
+    // primary — same timing model as visit_root_replicated, and B-link
+    // lateral moves absorb any staleness in the routing entries.
+    if (core::Replicated* pr = policy_->replica_of(nodes_[nid].oid)) {
+      co_await pr->ensure(ctx);
+      const Node& n = nodes_[nid];
+      co_await rt_->compute(
+          ctx, p_.search_base + p_.search_per_probe * probes(n) +
+                   p_.search_per_entry * static_cast<sim::Cycles>(n.maxkey.size()));
+      policy_->on_access(n.oid, requester, /*write=*/false);
+      co_return search_step(n, key);
+    }
+  }
   co_await approach(ctx, mech, nid);
   const core::CallOpts opts{p_.rpc_arg_words, p_.rpc_ret_words,
                             /*short_method=*/false};
   co_return co_await rt_->call(
       ctx, nodes_[nid].oid, opts,
-      [this, mech, nid, key](Ctx& callee) -> Task<Step> {
+      [this, mech, nid, key, requester](Ctx& callee) -> Task<Step> {
+        if (policy_ != nullptr) {
+          // The body runs at the node's home; the requester captured at
+          // procedure entry is the profile's accessor.
+          policy_->on_access(nodes_[nid].oid, requester, /*write=*/false);
+        }
         co_await charge_search(callee, mech, nid, false);
         co_return search_step(nodes_[nid], key);
       });
@@ -400,6 +440,7 @@ sim::Task<> DistributedBTree::unlock_node(Ctx& ctx, Mechanism mech,
 sim::Task<DistributedBTree::InsertOutcome> DistributedBTree::insert_into_leaf(
     Ctx& ctx, Mechanism mech, std::uint32_t leaf, std::uint64_t key,
     std::uint64_t value) {
+  const ProcId requester = ctx.proc;
   for (;;) {
     co_await approach(ctx, mech, leaf);
     // Under RPC/CM the locked section below runs as a method at the leaf's
@@ -411,13 +452,18 @@ sim::Task<DistributedBTree::InsertOutcome> DistributedBTree::insert_into_leaf(
       std::uint32_t next = kNone;
       InsertOutcome out;
     };
-    auto body = [this, mech, leaf, key, value](Ctx& at) -> Task<Attempt> {
+    auto body = [this, mech, leaf, key, value,
+                 requester](Ctx& at) -> Task<Attempt> {
       co_await lock_node(at, mech, leaf);
       Node& n = nodes_[leaf];
       if (key > n.high_key && n.right != kNone) {
         const std::uint32_t nxt = n.right;
         co_await unlock_node(at, mech, leaf);
         co_return Attempt{true, nxt, {}};
+      }
+      if (policy_ != nullptr) {
+        policy_->on_access(n.oid, requester, /*write=*/true);
+        co_await policy_->write_barrier(at, n.oid);
       }
       co_await charge_search(at, mech, leaf, /*optimistic=*/false);
       if (repl_ != nullptr && leaf == root_) {
@@ -465,6 +511,7 @@ sim::Task<DistributedBTree::InsertOutcome> DistributedBTree::insert_into_leaf(
 sim::Task<> DistributedBTree::install_split(Ctx& ctx, Mechanism mech,
                                             std::vector<std::uint32_t> stack,
                                             SplitInfo info) {
+  const ProcId requester = ctx.proc;
   for (;;) {
     if (stack.empty()) {
       co_await split_root(ctx, mech, info);
@@ -481,13 +528,18 @@ sim::Task<> DistributedBTree::install_split(Ctx& ctx, Mechanism mech,
         std::uint32_t next = kNone;
         std::optional<SplitInfo> cascade;
       };
-      auto body = [this, mech, parent, info](Ctx& at) -> Task<Attempt> {
+      auto body = [this, mech, parent, info,
+                   requester](Ctx& at) -> Task<Attempt> {
         co_await lock_node(at, mech, parent);
         Node& n = nodes_[parent];
         if (info.right_max > n.high_key && n.right != kNone) {
           const std::uint32_t nxt = n.right;
           co_await unlock_node(at, mech, parent);
           co_return Attempt{true, nxt, {}};
+        }
+        if (policy_ != nullptr) {
+          policy_->on_access(n.oid, requester, /*write=*/true);
+          co_await policy_->write_barrier(at, n.oid);
         }
         co_await charge_search(at, mech, parent, /*optimistic=*/false);
         if (repl_ != nullptr && parent == root_) {
@@ -638,13 +690,17 @@ sim::Task<bool> DistributedBTree::remove(Ctx& ctx, Mechanism mech,
       std::uint32_t next = kNone;
       bool removed = false;
     };
-    auto body = [this, mech, cur, key](Ctx& at) -> Task<Attempt> {
+    auto body = [this, mech, cur, key, origin](Ctx& at) -> Task<Attempt> {
       co_await lock_node(at, mech, cur);
       Node& n = nodes_[cur];
       if (key > n.high_key && n.right != kNone) {
         const std::uint32_t nxt = n.right;
         co_await unlock_node(at, mech, cur);
         co_return Attempt{true, nxt, false};
+      }
+      if (policy_ != nullptr) {
+        policy_->on_access(n.oid, origin, /*write=*/true);
+        co_await policy_->write_barrier(at, n.oid);
       }
       co_await charge_search(at, mech, cur, /*optimistic=*/false);
       if (repl_ != nullptr && cur == root_) {

@@ -40,6 +40,10 @@
 #include "sim/rng.h"
 #include "sim/task.h"
 
+namespace cm::policy {
+class PolicyEngine;
+}  // namespace cm::policy
+
 namespace cm::apps {
 
 class DistributedBTree {
@@ -103,6 +107,12 @@ class DistributedBTree {
   /// links, uniform leaf depth. Returns true if all hold.
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
   [[nodiscard]] core::Replicated* root_replica() { return repl_.get(); }
+
+  /// Put every node under placement-policy management (null detaches).
+  /// Internal nodes are read-mostly routers — phase-flip candidates; leaves
+  /// absorb the writes and are move-only. Call after bulk_load; nodes born
+  /// later (splits) register themselves in alloc_node.
+  void set_policy(policy::PolicyEngine* pol);
 
  private:
   static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
@@ -214,6 +224,7 @@ class DistributedBTree {
 
   core::Runtime* rt_;
   shmem::CoherentMemory* mem_;
+  policy::PolicyEngine* policy_ = nullptr;  // null = no placement policy
   Params p_;
   sim::Rng rng_;
   std::deque<Node> nodes_;  // stable references

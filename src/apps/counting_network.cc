@@ -3,6 +3,8 @@
 #include <cassert>
 #include <functional>
 
+#include "policy/policy.h"
+
 namespace cm::apps {
 
 namespace {
@@ -159,10 +161,19 @@ CountingNetwork::CountingNetwork(core::Runtime& rt, shmem::CoherentMemory* mem,
   }
 }
 
+void CountingNetwork::set_policy(policy::PolicyEngine* pol) {
+  policy_ = pol;
+  if (pol == nullptr) return;
+  // Neither balancers nor counters are read-mostly, so none are replicable.
+  for (BalancerRt& b : brt_) pol->manage(b.oid, b.mobile.get(), 8, false);
+  for (CounterRt& c : counters_) pol->manage(c.oid, c.mobile.get(), 4, false);
+}
+
 sim::Task<int> CountingNetwork::visit_balancer(core::Ctx& ctx,
                                                core::Mechanism mech,
                                                unsigned b) {
   BalancerRt& rtb = brt_[b];
+  const sim::ProcId requester = ctx.proc;
   if (sim::Tracer* tr = rt_->tracer()) {
     tr->record(sim::TraceEvent::kBalancerVisit, ctx.proc,
                {{"balancer", b}, {"stage", wiring_.balancers[b].stage}});
@@ -205,7 +216,12 @@ sim::Task<int> CountingNetwork::visit_balancer(core::Ctx& ctx,
                             p_.rpc_short_methods};
   co_return co_await rt_->call(
       ctx, rtb.oid, opts,
-      [this, b, &rtb](core::Ctx& callee) -> sim::Task<int> {
+      [this, b, &rtb, requester](core::Ctx& callee) -> sim::Task<int> {
+        if (policy_ != nullptr) {
+          // Toggling is a write; the requester captured at procedure entry
+          // is the profile's accessor (the body runs at the object's home).
+          policy_->on_access(rtb.oid, requester, /*write=*/true);
+        }
         co_await rt_->compute(
             callee, p_.balancer_work +
                         jitter(p_.work_jitter, b,
@@ -221,6 +237,7 @@ sim::Task<long> CountingNetwork::visit_counter(core::Ctx& ctx,
                                                core::Mechanism mech,
                                                unsigned wire) {
   CounterRt& c = counters_[wire];
+  const sim::ProcId requester = ctx.proc;
   switch (mech) {
     case core::Mechanism::kSharedMemory: {
       co_await mem_->write(ctx.proc, c.addr, 4);
@@ -243,7 +260,11 @@ sim::Task<long> CountingNetwork::visit_counter(core::Ctx& ctx,
   const core::CallOpts opts{p_.rpc_arg_words, p_.rpc_ret_words,
                             p_.rpc_short_methods};
   co_return co_await rt_->call(
-      ctx, c.oid, opts, [this, wire](core::Ctx& callee) -> sim::Task<long> {
+      ctx, c.oid, opts,
+      [this, wire, &c, requester](core::Ctx& callee) -> sim::Task<long> {
+        if (policy_ != nullptr) {
+          policy_->on_access(c.oid, requester, /*write=*/true);
+        }
         co_await rt_->compute(callee, p_.counter_work);
         co_return static_cast<long>(wire) +
             static_cast<long>(p_.width) * counts_[wire]++;

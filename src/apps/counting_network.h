@@ -32,6 +32,10 @@
 #include "shmem/sync.h"
 #include "sim/task.h"
 
+namespace cm::policy {
+class PolicyEngine;
+}  // namespace cm::policy
+
 namespace cm::apps {
 
 /// Where a balancer output port leads: another balancer or an output wire.
@@ -113,6 +117,11 @@ class CountingNetwork {
   /// and differ by at most 1 (AHS). Only meaningful with no token in flight.
   [[nodiscard]] bool has_step_property() const;
 
+  /// Put the balancers and counters under placement-policy management
+  /// (null detaches). Balancers are write-shared — the policy's negative
+  /// control: a sane rebalancer should leave them alone.
+  void set_policy(policy::PolicyEngine* pol);
+
  private:
   struct BalancerRt {
     core::ObjectId oid = 0;
@@ -141,6 +150,7 @@ class CountingNetwork {
 
   core::Runtime* rt_;
   shmem::CoherentMemory* mem_;
+  policy::PolicyEngine* policy_ = nullptr;  // null = no placement policy
   Params p_;
   BitonicWiring wiring_;
   std::vector<BalancerRt> brt_;

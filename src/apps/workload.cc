@@ -1,5 +1,6 @@
 #include "apps/workload.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
@@ -168,13 +169,22 @@ Task<> counting_requester(core::Runtime* rt, CountingNetwork* cn,
 Task<> btree_requester(core::Runtime* rt, DistributedBTree* bt,
                        Mechanism mech, ProcId home, Cycles think,
                        double insert_ratio, std::uint64_t key_space,
-                       std::uint64_t seed, long fixed_ops, RunCtl* ctl) {
+                       double affinity, std::uint64_t slice_base,
+                       std::uint64_t slice_size, std::uint64_t seed,
+                       long fixed_ops, RunCtl* ctl) {
   Ctx ctx{rt, home};
   sim::Rng rng(seed);
   const sim::Engine& eng = rt->machine().engine();
   for (long done = 0; !my_shard(*ctl, eng).stop; ++done) {
     if (fixed_ops > 0 && done >= fixed_ops) break;
-    const std::uint64_t key = rng.below(key_space);
+    // Key skew: the affinity test must not touch the RNG when the knob is
+    // off, so affinity == 0 draws stay bit-identical to the pre-knob runs.
+    std::uint64_t key;
+    if (affinity > 0.0 && rng.uniform() < affinity) {
+      key = slice_base + rng.below(slice_size);
+    } else {
+      key = rng.below(key_space);
+    }
     try {
       if (rng.uniform() < insert_ratio) {
         (void)co_await bt->insert(ctx, mech, key, key);
@@ -221,6 +231,10 @@ RunStats run_counting(const CountingConfig& cfg) {
     require_for_shards(!cfg.ft.enabled, "ft runs are single-shard");
     require_for_shards(cfg.locator.mode != loc::Locality::kDistributed,
                        "the distributed locator is single-shard");
+    require_for_shards(!cfg.policy.enabled || cfg.policy.observe_only,
+                       "an actuating placement policy mutates global "
+                       "placement tables; multi-shard policy runs are "
+                       "observe-only");
   }
   // Shards must be carved before anything schedules or sizes per-shard
   // state (tracer buffers, checker logs, network stat slots).
@@ -270,6 +284,16 @@ RunStats run_counting(const CountingConfig& cfg) {
     locator = std::make_unique<loc::Locator>(rt, cfg.locator);
   }
   CountingNetwork cn(rt, mem.get(), np);
+
+  // Placement policy: constructed only when enabled (the null-by-default
+  // pattern), after the application so `set_policy` sees every balancer.
+  std::unique_ptr<policy::PolicyEngine> pol;
+  if (cfg.policy.enabled) {
+    pol = std::make_unique<policy::PolicyEngine>(rt, cfg.policy);
+    cn.set_policy(pol.get());
+    if (locator != nullptr) locator->set_chooser(&pol->chooser());
+    pol->start();
+  }
 
   // Fail-stop tolerance: constructed after the application so the balancer
   // objects exist when a suspicion scans for a dead processor's population.
@@ -348,6 +372,10 @@ RunStats run_counting(const CountingConfig& cfg) {
   out.window_count = eng.window_count();
   out.total_exited = cn.total_exited();
   out.step_property = cn.has_step_property();
+  if (pol != nullptr) {
+    out.policy_enabled = true;
+    out.policy = pol->stats();
+  }
   if (ftl != nullptr) {
     out.ft_enabled = true;
     out.ft = ftl->stats();
@@ -389,6 +417,10 @@ RunStats run_btree(const BTreeConfig& cfg) {
     require_for_shards(cfg.insert_ratio == 0.0,
                        "B-tree splits mutate tree topology no single shard "
                        "owns; multi-shard runs are lookup-only");
+    require_for_shards(!cfg.policy.enabled || cfg.policy.observe_only,
+                       "an actuating placement policy mutates global "
+                       "placement tables; multi-shard policy runs are "
+                       "observe-only");
   }
   eng.configure_shards(cfg.nshards, nprocs);
   std::unique_ptr<sim::Tracer> tracer;
@@ -444,6 +476,16 @@ RunStats run_btree(const BTreeConfig& cfg) {
   for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i;
   bt.bulk_load(keys);
 
+  // Placement policy: after bulk_load so every node of the built tree is
+  // registered at once; split-born nodes register from alloc_node.
+  std::unique_ptr<policy::PolicyEngine> pol;
+  if (cfg.policy.enabled) {
+    pol = std::make_unique<policy::PolicyEngine>(rt, cfg.policy);
+    bt.set_policy(pol.get());
+    if (locator != nullptr) locator->set_chooser(&pol->chooser());
+    pol->start();
+  }
+
   // Fail-stop tolerance: after bulk_load so every node object (and the
   // replicated root, if any) exists before a crash can be suspected.
   std::unique_ptr<ft::FtLayer> ftl;
@@ -461,11 +503,14 @@ RunStats run_btree(const BTreeConfig& cfg) {
   ctl.live = cfg.requesters;
   ctl.ftl = ftl.get();
 
+  const std::uint64_t key_space = 2 * static_cast<std::uint64_t>(cfg.nkeys);
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(1, key_space / cfg.requesters);
   for (unsigned i = 0; i < cfg.requesters; ++i) {
     const ProcId home = static_cast<ProcId>(cfg.node_procs + i);
     sim::detach(btree_requester(&rt, &bt, cfg.scheme.mechanism, home,
-                                cfg.think, cfg.insert_ratio,
-                                2 * static_cast<std::uint64_t>(cfg.nkeys),
+                                cfg.think, cfg.insert_ratio, key_space,
+                                cfg.key_affinity, i * slice, slice,
                                 cfg.seed * 1000003 + i,
                                 cfg.ops_per_requester, &ctl));
   }
@@ -519,6 +564,10 @@ RunStats run_btree(const BTreeConfig& cfg) {
   out.btree_keys = bt.num_keys();
   out.btree_digest = bt.digest_host();
   out.invariants_ok = bt.check_invariants();
+  if (pol != nullptr) {
+    out.policy_enabled = true;
+    out.policy = pol->stats();
+  }
   if (ftl != nullptr) {
     out.ft_enabled = true;
     out.ft = ftl->stats();
@@ -565,6 +614,7 @@ void put_run_stats(core::Metrics& m, const RunStats& s) {
     ft::put_ft_stats(m, s.ft);
     m.put("ft.lost_ops", s.ft_lost_ops);
   }
+  if (s.policy_enabled) policy::put_policy_stats(m, s.policy);
   if (s.locator_enabled) loc::put_loc_stats(m, s.loc);
   if (s.checker_enabled) check::put_check_stats(m, s.check);
   core::put_rt_stats(m, s.runtime);

@@ -24,6 +24,7 @@
 #include "ft/ft.h"
 #include "loc/locator.h"
 #include "net/faulty_net.h"
+#include "policy/policy.h"
 #include "sim/event_queue.h"
 #include "sim/sharded_engine.h"
 #include "sim/types.h"
@@ -79,6 +80,11 @@ struct RunStats {
   bool ft_enabled = false;
   ft::FtStats ft;
   long ft_lost_ops = 0;
+
+  // Placement policy (only meaningful when a run enables the policy
+  // engine; `policy_enabled` gates the "policy.*" metrics export).
+  bool policy_enabled = false;
+  policy::PolicyStats policy;
 
   std::string trace_path;  // Chrome trace written for this run ("" = none)
 
@@ -145,6 +151,13 @@ struct CountingConfig {
   // across backends.
   sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
   ft::FtConfig ft;
+  // Placement policy (DESIGN.md §13): with `policy.enabled` a
+  // policy::PolicyEngine samples per-processor load, rebalances hot objects
+  // and (optionally) phase-flips read-mostly ones into replication mode.
+  // Disabled (default) constructs nothing — runs are bit-identical to a
+  // build without the subsystem. Actuating mode (observe_only == false) is
+  // single-shard only; observe mode is legal at any shard count.
+  policy::PolicyConfig policy;
   // Sharded engine (DESIGN.md §12): partition the machine's processors
   // across `nshards` conservative-parallel shards, each running its own
   // event loop; kSequential round-robins windows on one host thread (the
@@ -172,6 +185,12 @@ struct BTreeConfig {
   unsigned max_entries = 100;  // paper: <=100; ablation: <=10
   unsigned nkeys = 10'000;
   double insert_ratio = 0.5;  // fraction of operations that are inserts
+  // Requester key skew: with this probability a requester draws from its
+  // own contiguous slice of the key space instead of the whole range. 0
+  // (default) draws nothing extra from the RNG, so unskewed runs are
+  // bit-identical to the pre-knob system. High affinity gives each leaf a
+  // dominant accessor — the workload the rebalancer is built for.
+  double key_affinity = 0.0;
   sim::ProcId node_procs = 48;
   Window window{};
   std::uint64_t seed = 1;
@@ -185,6 +204,7 @@ struct BTreeConfig {
   bool check = false;          // see CountingConfig
   check::CheckConfig check_cfg;
   ft::FtConfig ft;  // see CountingConfig
+  policy::PolicyConfig policy;  // see CountingConfig
   sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
   // See CountingConfig. Multi-shard B-tree runs must additionally be
   // lookup-only (insert_ratio == 0): splits mutate tree topology through

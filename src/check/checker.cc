@@ -468,6 +468,43 @@ void Checker::on_fail_stop(ProcId p, Cycles at) {
   });
 }
 
+void Checker::on_policy_config(Cycles move_cooldown) {
+  policy_cooldown_ = move_cooldown;
+}
+
+void Checker::on_policy_move(std::uint64_t obj) {
+  dispatch([this, obj] {
+    ++stats_.policy_moves;
+    const Cycles t = now_();
+    auto [it, fresh] = policy_last_move_.emplace(obj, t);
+    if (fresh) return;
+    if (policy_cooldown_ > 0 && t - it->second < policy_cooldown_) {
+      violate(Violation::kPolicyMoveInCooldown, sim::kNoProc,
+              "obj " + std::to_string(obj) + " moved at cycle " +
+                  std::to_string(t) + ", only " +
+                  std::to_string(t - it->second) +
+                  " cycles after its previous policy move (cooldown " +
+                  std::to_string(policy_cooldown_) + ")");
+    }
+    it->second = t;
+  });
+}
+
+void Checker::on_policy_flip(std::uint64_t obj, bool to_replicated) {
+  dispatch([this, obj, to_replicated] {
+    ++stats_.policy_flips;
+    auto [it, fresh] = policy_mode_.emplace(obj, false);
+    (void)fresh;
+    if (it->second == to_replicated) {
+      violate(Violation::kPolicyRedundantFlip, sim::kNoProc,
+              "obj " + std::to_string(obj) + " flipped to " +
+                  std::string(to_replicated ? "replicated" : "plain") +
+                  " mode without a phase edge (already there)");
+    }
+    it->second = to_replicated;
+  });
+}
+
 void Checker::on_lease(ProcId p, Cycles expiry) {
   dispatch([this, p, expiry] {
     ++stats_.leases;

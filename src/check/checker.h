@@ -89,6 +89,10 @@ enum class Violation : unsigned {
   kDuplicateRehome,       // one crash recovered the same object twice, or a
                           // re-home committed away from a non-owner
   kLeaseRegression,       // a processor's lease expiry moved backwards
+  kPolicyMoveInCooldown,  // rebalancer issued a move inside the object's
+                          // migration-hysteresis cooldown window
+  kPolicyRedundantFlip,   // replication-mode flip without a phase edge (the
+                          // object was already in the requested mode)
   kCount,
 };
 
@@ -111,6 +115,8 @@ enum class Violation : unsigned {
     case Violation::kPostFailureDelivery: return "post_failure_delivery";
     case Violation::kDuplicateRehome: return "duplicate_rehome";
     case Violation::kLeaseRegression: return "lease_regression";
+    case Violation::kPolicyMoveInCooldown: return "policy_move_in_cooldown";
+    case Violation::kPolicyRedundantFlip: return "policy_redundant_flip";
     case Violation::kCount: break;
   }
   return "?";
@@ -161,6 +167,8 @@ struct CheckStats {
   std::uint64_t leases = 0;          // lease renewals observed
   std::uint64_t suspicions = 0;      // failure-detector verdicts
   std::uint64_t rehomes = 0;         // object recovery commits
+  std::uint64_t policy_moves = 0;    // rebalancer-issued object moves
+  std::uint64_t policy_flips = 0;    // phase-detector replication flips
   bool finalized = false;
   std::uint64_t total_violations = 0;
   std::uint64_t by_kind[static_cast<unsigned>(Violation::kCount)] = {};
@@ -260,6 +268,19 @@ class Checker {
   /// failed home) pair may commit at most once, and `from` must be the
   /// object's committed owner.
   void on_rehome(std::uint64_t obj, ProcId from, ProcId to);
+
+  // ---- placement / replication policy --------------------------------------
+  /// Setup-time: the policy layer's per-object migration cooldown, the
+  /// hysteresis bound `on_policy_move` enforces. Call before the run starts.
+  void on_policy_config(Cycles move_cooldown);
+  /// The rebalancer issued a move for `obj`. Invariant: at least
+  /// `move_cooldown` cycles since the previous policy move of the same
+  /// object (migration hysteresis; per-object cooldown).
+  void on_policy_move(std::uint64_t obj);
+  /// The phase detector flipped `obj`'s replication mode. Invariant: the
+  /// flip follows a phase edge, i.e. the mode actually changes (objects
+  /// start non-replicated; flipping to the current mode is redundant).
+  void on_policy_flip(std::uint64_t obj, bool to_replicated);
 
   // ---- coherence directory ------------------------------------------------
   /// Directory-state facts after a transition commits. Invariant: modified
@@ -415,6 +436,11 @@ class Checker {
   // forwarding
   std::unordered_map<std::uint64_t, Chase> chases_;
   std::map<std::pair<ProcId, std::uint64_t>, ProcId> fwd_mirror_;
+
+  // placement / replication policy
+  Cycles policy_cooldown_ = 0;
+  std::map<std::uint64_t, Cycles> policy_last_move_;
+  std::map<std::uint64_t, bool> policy_mode_;  // true = replicated
 
   // transport + replies; calls_ is ordered by the (lane-structured) call id
   // so finalize walks windows in a shard-count-invariant order.

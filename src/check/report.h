@@ -34,6 +34,8 @@ inline void put_check_stats(core::Metrics& m, const CheckStats& s) {
   m.put("check.leases", s.leases);
   m.put("check.suspicions", s.suspicions);
   m.put("check.rehomes", s.rehomes);
+  m.put("check.policy_moves", s.policy_moves);
+  m.put("check.policy_flips", s.policy_flips);
   m.put("check.finalized", s.finalized);
   m.put("check.violations", s.total_violations);
   for (unsigned k = 0; k < static_cast<unsigned>(Violation::kCount); ++k) {

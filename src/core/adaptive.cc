@@ -107,4 +107,24 @@ Mechanism AdaptiveChooser::recommend(ObjectId obj, unsigned frame_words,
                                                         : Mechanism::kRpc;
 }
 
+bool set_tunable(AdaptiveChooser::Tunables& t, std::string_view key,
+                 double value) {
+  if (key == "read_mostly_threshold") {
+    t.read_mostly_threshold = value;
+  } else if (key == "dominant_accessor_share") {
+    t.dominant_accessor_share = value;
+  } else if (key == "run_length_for_migration") {
+    t.run_length_for_migration = value;
+  } else if (key == "frame_words_rpc_cutoff") {
+    t.frame_words_rpc_cutoff = static_cast<unsigned>(value);
+  } else if (key == "allow_shared_memory") {
+    t.allow_shared_memory = value != 0.0;
+  } else if (key == "bounce_rate_cap") {
+    t.bounce_rate_cap = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace cm::core

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/mechanism.h"
@@ -89,5 +90,15 @@ class AdaptiveChooser {
   Tunables tunables_;
   std::unordered_map<ObjectId, Profile> profiles_;
 };
+
+/// Set one tunable by its field name ("read_mostly_threshold",
+/// "dominant_accessor_share", "run_length_for_migration",
+/// "frame_words_rpc_cutoff", "allow_shared_memory", "bounce_rate_cap");
+/// integral/bool fields round/test the double. Returns false on an unknown
+/// name. This is the CLI surface: benches accept repeated
+/// `--tune key=value` flags so policy experiments can sweep the chooser
+/// without rebuilding.
+bool set_tunable(AdaptiveChooser::Tunables& t, std::string_view key,
+                 double value);
 
 }  // namespace cm::core

@@ -95,6 +95,23 @@ sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
   // Broadcast invalidations from the writer's processor and gather acks.
   auto remaining = std::make_shared<int>(static_cast<int>(targets.size()));
   sim::OneShot<sim::Unit> all_acked;
+  if (rt_->reliability_enabled()) {
+    // Faulty network: raw fire-and-forget sends can drop an invalidation
+    // or its ack, stranding this barrier (and the writer's call) forever.
+    // Ride the reliable transport instead — unbounded retransmission
+    // guarantees every round trip completes. Fault-free runs never take
+    // this branch, so their event sequence is unchanged.
+    for (const ProcId t : targets) {
+      valid_[t] = false;
+      co_await rt_->charge(ctx.proc, c.sender_total(1),
+                           Category::kReplication);
+      sim::detach(invalidate_one(ctx.proc, t, remaining, all_acked));
+    }
+    co_await all_acked.get();
+    co_await rt_->charge(ctx.proc, c.reply_receive(1),
+                         Category::kReplication);
+    co_return;
+  }
   for (const ProcId t : targets) {
     valid_[t] = false;
     co_await rt_->charge(ctx.proc, c.sender_total(1), Category::kReplication);
@@ -117,6 +134,17 @@ sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
   }
   co_await all_acked.get();
   co_await rt_->charge(ctx.proc, c.reply_receive(1), Category::kReplication);
+}
+
+sim::Task<> Replicated::invalidate_one(ProcId from, ProcId target,
+                                       std::shared_ptr<int> remaining,
+                                       sim::OneShot<sim::Unit> all_acked) {
+  const CostModel& c = rt_->cost();
+  co_await rt_->transfer(from, target, 1);
+  co_await rt_->charge(target, c.receiver_total(1, /*create_thread=*/false),
+                       Category::kReplication);
+  co_await rt_->transfer(target, from, 1);
+  if (--*remaining == 0) all_acked.set(sim::Unit{});
 }
 
 }  // namespace cm::core

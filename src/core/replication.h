@@ -5,9 +5,11 @@
 // bottleneck. Writers invalidate every replica before modifying the object.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/runtime.h"
+#include "sim/oneshot.h"
 
 namespace cm::core {
 
@@ -46,6 +48,12 @@ class Replicated {
   void rehome(ProcId new_home);
 
  private:
+  /// One invalidate/ack round trip over the reliable transport (the
+  /// drop-safe branch of invalidate_all; detached, one per target).
+  [[nodiscard]] sim::Task<> invalidate_one(ProcId from, ProcId target,
+                                           std::shared_ptr<int> remaining,
+                                           sim::OneShot<sim::Unit> all_acked);
+
   Runtime* rt_;
   ObjectId primary_;
   ProcId home_;

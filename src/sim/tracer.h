@@ -76,6 +76,11 @@ enum class TraceEvent : unsigned {
   kFtRehome,          // object recovery committed at its new home
   kFtLost,            // object declared unrecoverable
   kFtReplyRecovered,  // reply reconstructed after its transfer failed
+  // policy: load-aware placement and phase-adaptive replication.
+  kPolicySample,    // per-processor load/profile sample on the engine clock
+  kPolicyDecision,  // rebalancer verdict or phase edge at an object's home
+  kPolicyMove,      // rebalancer issued a bounded attract for an object
+  kPolicyFlip,      // phase detector toggled an object's replication mode
   // applications.
   kBalancerVisit,   // counting network: token traverses a balancer
   kBTreeNodeVisit,  // B-tree: operation examines a node
@@ -116,6 +121,10 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kFtRehome: return "ft.rehome";
     case TraceEvent::kFtLost: return "ft.lost";
     case TraceEvent::kFtReplyRecovered: return "ft.reply_recovered";
+    case TraceEvent::kPolicySample: return "policy.sample";
+    case TraceEvent::kPolicyDecision: return "policy.decision";
+    case TraceEvent::kPolicyMove: return "policy.move";
+    case TraceEvent::kPolicyFlip: return "policy.flip";
     case TraceEvent::kBalancerVisit: return "balancer.visit";
     case TraceEvent::kBTreeNodeVisit: return "btree.node_visit";
     case TraceEvent::kCount: break;
@@ -166,6 +175,11 @@ enum class TraceEvent : unsigned {
     case TraceEvent::kFtLost:
     case TraceEvent::kFtReplyRecovered:
       return "ft";
+    case TraceEvent::kPolicySample:
+    case TraceEvent::kPolicyDecision:
+    case TraceEvent::kPolicyMove:
+    case TraceEvent::kPolicyFlip:
+      return "policy";
     case TraceEvent::kBalancerVisit:
     case TraceEvent::kBTreeNodeVisit:
       return "app";
