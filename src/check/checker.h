@@ -423,8 +423,13 @@ class Checker {
   };
   std::unordered_map<std::uint64_t, Commit> last_commit_;
 
-  // lock graph
+  // lock graph. The two address-keyed maps are the id_of() registries:
+  // lookup-only (never iterated, never ordered), and every value they hand
+  // out is a dense first-seen id — reports and the lock graph only ever
+  // see those ids, so host addresses stay unobservable.
+  // simlint: allow DS002
   std::unordered_map<const void*, std::uint64_t> mutex_ids_;
+  // simlint: allow DS002
   std::unordered_map<const void*, std::uint64_t> agent_ids_;
   std::vector<std::string> mutex_names_;      // indexed by mutex id
   std::map<std::uint64_t, std::uint64_t> holder_;       // mutex -> agent

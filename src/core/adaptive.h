@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string_view>
 #include <unordered_map>
 
@@ -82,7 +83,10 @@ class AdaptiveChooser {
     std::uint64_t runs = 0;  // maximal same-accessor streaks
     std::uint64_t bounces = 0;  // stale-host forwards seen by the locator
     sim::ProcId last_accessor = sim::kNoProc;
-    std::unordered_map<sim::ProcId, std::uint64_t> by_accessor;
+    // Ordered deliberately (simlint DS001): dominant_share() iterates this
+    // map, and hash order must never be observable. Accessor sets are small
+    // (bounded by nprocs), so the tree walk costs nothing measurable.
+    std::map<sim::ProcId, std::uint64_t> by_accessor;
   };
 
   [[nodiscard]] const Profile* find(ObjectId obj) const;

@@ -115,6 +115,11 @@ sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
   for (const ProcId t : targets) {
     valid_[t] = false;
     co_await rt_->charge(ctx.proc, c.sender_total(1), Category::kReplication);
+    // Raw sends are safe on this branch only: reliability_enabled() runs
+    // return above, so reaching here means no FaultPlan is installed and
+    // the network is lossless by construction (the PR 9 bug lived in
+    // taking this path under faults).
+    // simlint: allow SS002
     rt_->network().send(
         ctx.proc, t, 1 + c.header_words, net::Traffic::kRuntime,
         [this, t, from = ctx.proc, remaining, all_acked, &c] {
@@ -122,6 +127,8 @@ sim::Task<> Replicated::invalidate_all(Ctx& ctx) {
           rt_->machine().exec(
               t, c.receiver_total(1, false),
               [this, t, from, remaining, all_acked, &c] {
+                // Ack on the same lossless-by-construction branch.
+                // simlint: allow SS002
                 rt_->network().send(t, from, 1 + c.header_words,
                                     net::Traffic::kRuntime,
                                     [remaining, all_acked] {

@@ -81,6 +81,10 @@ void FtLayer::sweep() {
       const auto mon = static_cast<ProcId>((p + 1 + i) % nprocs_);
       if (mon == p) continue;
       ++stats_.heartbeats_sent;
+      // Heartbeats must ride the raw lossy network: a dead NIC silently
+      // eating them is the failure signal itself, and a retransmitting
+      // transport would mask exactly what the detector measures.
+      // simlint: allow SS002
       rt_->network().send(p, mon, hb_words, net::Traffic::kRuntime,
                           [this, p] { on_heartbeat(p); });
     }

@@ -120,6 +120,11 @@ sim::Task<> CoherentMemory::acquire(sim::ProcId p, Line line, bool exclusive) {
 
     const sim::ProcId home = home_of_line(line);
     sim::OneShot<sim::Unit> done;
+    // Coherence traffic models the lossless hardware fabric: FaultyNetwork
+    // never faults Traffic::kCoherence unless a plan opts in with
+    // affect_coherence, and nothing composes that flag with this protocol
+    // (pinned by FaultyNetwork.CoherenceTrafficUntouchedByDefault).
+    // simlint: allow SS002
     network_->send(p, home, params_.words_request, net::Traffic::kCoherence,
                    [this, p, line, exclusive, done] {
                      on_request(p, line, exclusive, done);
@@ -202,6 +207,9 @@ sim::Task<> CoherentMemory::serve_front(Line line) {
           sim::OneShot<sim::Unit> all_acked;
           for (sim::ProcId s = 0; s < machine_->size(); ++s) {
             if (!to_inval.test(s)) continue;
+            // Lossless hardware fabric (see acquire): kCoherence traffic
+            // is never faulted in any composed configuration.
+            // simlint: allow SS002
             network_->send(
                 home, s, params_.words_request, net::Traffic::kCoherence,
                 [this, s, line, home, remaining, all_acked] {
@@ -212,6 +220,8 @@ sim::Task<> CoherentMemory::serve_front(Line line) {
                   machine_->engine().at(fin, [this, s, line, home, remaining,
                                               all_acked] {
                     caches_[s].set_state(line, LineState::kInvalid);
+                    // Lossless hardware fabric (see acquire).
+                    // simlint: allow SS002
                     network_->send(s, home, params_.words_request,
                                    net::Traffic::kCoherence,
                                    [remaining, all_acked] {
@@ -282,6 +292,9 @@ void CoherentMemory::handle_eviction(sim::ProcId p, const Eviction& victim) {
   ++stats_.writebacks;
   const Line line = victim.line;
   const sim::ProcId home = home_of_line(line);
+  // Lossless hardware fabric (see acquire); a writeback additionally has
+  // no waiter to strand — the directory update is its only effect.
+  // simlint: allow SS002
   network_->send(p, home, params_.words_data, net::Traffic::kCoherence,
                  [this, p, line, home] {
                    const sim::Cycles fin = controllers_.acquire(home,

@@ -365,7 +365,10 @@ class Engine {
   QueueBackend backend_;
 
   // Which shard's event is executing on this host thread. Thread-local so
-  // kThreads workers each see their own shard; 0 on the main thread.
+  // kThreads workers each see their own shard; 0 on the main thread. This
+  // IS the shard-safety machinery (each worker only ever reads its own
+  // copy), not state shared across workers.
+  // simlint: allow SS001
   inline static thread_local unsigned tls_shard_ = 0;
 };
 

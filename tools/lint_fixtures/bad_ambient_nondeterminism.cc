@@ -1,0 +1,42 @@
+// simlint fixture: ambient nondeterminism — host entropy, wall clocks and
+// address-derived keys that make same-seed runs differ. NOT compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+unsigned bad_host_entropy_seed() {
+  std::random_device rd;  // EXPECT-LINT: DS002
+  return rd();
+}
+
+unsigned bad_libc_rand() {
+  return static_cast<unsigned>(rand());  // EXPECT-LINT: DS002
+}
+
+long bad_wall_clock_in_model() {
+  // EXPECT-LINT: DS002
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return t.count();
+}
+
+long bad_time_seed() {
+  return time(nullptr);  // EXPECT-LINT: DS002
+}
+
+const char* bad_env_config() {
+  return getenv("CM_SECRET_TUNING");  // EXPECT-LINT: DS002
+}
+
+struct Registry {
+  // Keyed by host addresses: hash values and any ordering follow the
+  // allocator, not the simulation.
+  std::unordered_map<const void*, unsigned> ids;  // EXPECT-LINT: DS002
+  std::map<void*, unsigned> ordered_by_address;   // EXPECT-LINT: DS002
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// simlint fixture: raw fire-and-forget Network sends in reliability paths.
+// NOT compiled. Nothing retransmits, acks or excuses these messages, so a
+// single drop under a FaultPlan strands whoever is gated on their effect —
+// the exact Replicated::invalidate_all bug class PR 9 fixed.
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+struct Network {
+  void send(unsigned src, unsigned dst, unsigned words, int kind,
+            std::function<void()> deliver);
+};
+
+struct Barrier {
+  int remaining = 0;
+  void arrive();
+};
+
+struct Invalidator {
+  Network* network_ = nullptr;
+  Barrier barrier_;
+
+  void bad_fire_and_forget_invalidate(unsigned from, unsigned to) {
+    // The barrier waits for this message's effect, but a dropped copy
+    // never arrives and nothing retries: the writer hangs forever.
+    network_->send(from, to, 4, 0, [this] {  // EXPECT-LINT: SS002
+      barrier_.arrive();
+    });
+  }
+
+  void bad_unacked_notification(unsigned from, unsigned to) {
+    network_->send(from, to, 2, 0, [] {});  // EXPECT-LINT: SS002
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// simlint fixture: mutable static-storage state — shared across kThreads
+// shard workers with none of the inbox/window discipline, so it is both a
+// data race and a shard-count determinism hole. NOT compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+static std::uint64_t g_event_count = 0;  // EXPECT-LINT: SS001
+
+static std::vector<int> g_audit_log;  // EXPECT-LINT: SS001
+
+struct Dispatcher {
+  // A static member is one instance shared by every shard's dispatcher.
+  inline static unsigned next_ticket_ = 0;  // EXPECT-LINT: SS001
+};
+
+std::uint64_t bad_function_local_counter() {
+  static std::uint64_t calls = 0;  // EXPECT-LINT: SS001
+  return ++calls;
+}
+
+unsigned bad_thread_local_cache() {
+  // thread_local is per-worker, which makes results depend on which shard
+  // ran the event — a different value at every shard count.
+  thread_local unsigned last_hit = 0;  // EXPECT-LINT: SS001
+  return ++last_hit;
+}
+
+}  // namespace fixture

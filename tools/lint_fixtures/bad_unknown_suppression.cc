@@ -1,0 +1,19 @@
+// simlint fixture: a suppression naming a rule the tool does not know
+// silences nothing — the typo is itself a finding (SL000), because a
+// misspelled allow otherwise reads as "handled" while the real rule keeps
+// firing (or worse, never existed). NOT compiled.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t typo_rule_id() {
+  std::uint64_t x = 7;  // simlint: allow DS01  // EXPECT-LINT: SL000
+  return x;
+}
+
+std::uint64_t unknown_rule_family() {
+  std::uint64_t y = 9;  // simlint: allow ZZ999  // EXPECT-LINT: SL000
+  return y;
+}
+
+}  // namespace fixture

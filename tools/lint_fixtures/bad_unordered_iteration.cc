@@ -1,0 +1,38 @@
+// simlint fixture: iteration over unordered containers — the hash-order
+// determinism leak DS001 exists for. NOT compiled. Iteration order of a
+// libstdc++ hash table depends on the library version and on insertion
+// addresses, so any metric, trace, message or scheduling decision derived
+// from these loops differs across toolchains while same-seed runs must be
+// byte-identical.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct HotProfile {
+  std::unordered_map<unsigned, std::uint64_t> hits_by_proc;
+};
+
+std::uint64_t bad_range_for_member(const HotProfile& p) {
+  std::uint64_t sum = 0;
+  for (const auto& [proc, hits] : p.hits_by_proc) {  // EXPECT-LINT: DS001
+    sum += hits * proc;  // order-dependent accumulation feeds a metric
+  }
+  return sum;
+}
+
+void emit(unsigned v);
+
+void bad_emit_in_hash_order(std::unordered_set<unsigned> live_ids) {
+  for (unsigned id : live_ids) {  // EXPECT-LINT: DS001
+    emit(id);  // message emission in hash order
+  }
+}
+
+unsigned bad_iterator_walk(const HotProfile& p) {
+  auto it = p.hits_by_proc.begin();  // EXPECT-LINT: DS001
+  return it->first;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// simlint fixture: the send shapes SS002 must not flag — a delivery
+// callback that resumes a suspended sender (an awaited send: the caller
+// observes completion), and sends routed through the reliable transport.
+// NOT compiled.
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+struct Network {
+  void send(unsigned src, unsigned dst, unsigned words, int kind,
+            std::function<void()> deliver);
+};
+
+struct Reliable {
+  void* send(unsigned src, unsigned dst, unsigned words, unsigned budget);
+};
+
+struct Transport {
+  Network* network_ = nullptr;
+  Reliable* reliable_ = nullptr;
+
+  void* good_awaited_delivery(unsigned src, unsigned dst, unsigned total);
+
+  void* good_reliable_path(unsigned src, unsigned dst, unsigned words) {
+    // The transport owns retransmission, dedup and acks.
+    return reliable_->send(src, dst, words, /*budget=*/0);
+  }
+};
+
+void* suspend_point(std::coroutine_handle<> h);
+
+void* Transport::good_awaited_delivery(unsigned src, unsigned dst,
+                                       unsigned total) {
+  // The sender suspends until the delivery callback resumes it: a drop
+  // cannot strand silently because the reliable layer above this one is
+  // what decides to use the raw path (fault-free runs only).
+  return suspend_point([this, src, dst, total](std::coroutine_handle<> h) {
+    network_->send(src, dst, total, 0, [h] { h.resume(); });
+    return nullptr;
+  });
+}
+
+}  // namespace fixture

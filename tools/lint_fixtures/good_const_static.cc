@@ -1,0 +1,30 @@
+// simlint fixture: the static shapes SS001 must not flag — immutable
+// constants, static member functions, internal-linkage free functions and
+// static_assert. NOT compiled.
+#include <cstdint>
+
+namespace fixture {
+
+static constexpr std::uint64_t kWindowBits = 40;
+
+static const char kSchemaName[] = "flat-json-v1";
+
+struct Codec {
+  static constexpr unsigned kHeaderWords = 2;
+
+  static std::uint64_t pack(std::uint64_t lane, std::uint64_t seq);
+  static void unpack(std::uint64_t label);
+};
+
+// Internal linkage on a free function is a visibility choice, not state.
+static std::uint64_t fold(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b << 1);
+}
+
+static_assert(kWindowBits < 64, "label layout");
+
+std::uint64_t use_all(std::uint64_t x) {
+  return fold(Codec::pack(1, x), kWindowBits);
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// simlint fixture: the container shapes DS001 must not flag — ordered
+// iteration, point lookups into hash tables (the tree's dominant idiom),
+// and the sorted-copy escape hatch. NOT compiled.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Ledger {
+  std::map<unsigned, std::uint64_t> credits_by_proc;
+  std::unordered_map<unsigned, std::uint64_t> balance_index;
+};
+
+std::uint64_t good_ordered_range_for(const Ledger& l) {
+  std::uint64_t sum = 0;
+  for (const auto& [proc, credits] : l.credits_by_proc) {
+    sum += credits * proc;  // std::map walks keys in sorted order
+  }
+  return sum;
+}
+
+std::uint64_t good_point_lookups(Ledger& l, unsigned proc) {
+  // find/count/operator[]/erase never observe hash order.
+  const auto it = l.balance_index.find(proc);
+  if (it == l.balance_index.end()) return 0;
+  l.balance_index.erase(proc);
+  return it->second;
+}
+
+std::vector<unsigned> good_sorted_copy(const Ledger& l) {
+  // The sanctioned fix for an unavoidable walk: materialise the keys,
+  // sort, then iterate the vector.
+  std::vector<unsigned> keys;
+  keys.reserve(l.balance_index.size());
+  for (const auto& [proc, credits] : l.credits_by_proc) keys.push_back(proc);
+  std::set<unsigned> dedup(keys.begin(), keys.end());
+  return {dedup.begin(), dedup.end()};
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// simlint fixture: the sanctioned determinism idioms DS002 must not flag —
+// sim::Rng streams, engine time, dense first-seen ids instead of address
+// keys, and signatures that merely pass an address-keyed registry through
+// (judged at its declaration site, not at every mention). NOT compiled.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t next();
+};
+
+struct Engine {
+  std::uint64_t now() const;
+};
+
+std::uint64_t good_seeded_stream(std::uint64_t seed) {
+  Rng rng(seed);  // every random draw derives from the run config
+  return rng.next();
+}
+
+std::uint64_t good_simulated_time(const Engine& eng) {
+  return eng.now();  // simulated cycles, not host wall time
+}
+
+struct DenseIds {
+  std::unordered_map<std::uint64_t, unsigned> by_id;  // keyed by minted ids
+};
+
+// Passing an address-keyed registry by reference is not a new declaration;
+// the member itself carries the suppression at its declaration site.
+unsigned good_signature_mention(
+    std::unordered_map<const void*, unsigned>& reg, const void* p) {
+  return reg.at(p);
+}
+
+}  // namespace fixture
